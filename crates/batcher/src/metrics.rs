@@ -1,0 +1,140 @@
+//! Padding-efficiency metrics (Figs. 4 and 15).
+
+use crate::microbatch::MicroBatch;
+use dynapipe_model::ModelArch;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate padding statistics over a set of micro-batches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PaddingStats {
+    /// Non-padding tokens processed.
+    pub actual_tokens: u64,
+    /// Total tokens processed (padding included).
+    pub padded_tokens: u64,
+    /// Encoder-side non-padding tokens (T5 view).
+    pub enc_actual: u64,
+    /// Encoder-side total tokens.
+    pub enc_padded: u64,
+    /// Decoder-side non-padding tokens.
+    pub dec_actual: u64,
+    /// Decoder-side total tokens.
+    pub dec_padded: u64,
+}
+
+impl PaddingStats {
+    /// Accumulate statistics over micro-batches.
+    pub fn from_micro_batches(mbs: &[MicroBatch], arch: ModelArch) -> Self {
+        let mut s = PaddingStats::default();
+        for mb in mbs {
+            s.actual_tokens += mb.actual_tokens();
+            s.padded_tokens += mb.padded_tokens(arch);
+            let shape = mb.shape(ModelArch::T5);
+            s.enc_padded += (shape.batch_size * shape.enc_len) as u64;
+            s.dec_padded += (shape.batch_size * shape.dec_len) as u64;
+            s.enc_actual += mb.samples.iter().map(|x| x.input_len as u64).sum::<u64>();
+            s.dec_actual += mb.samples.iter().map(|x| x.target_len as u64).sum::<u64>();
+        }
+        s
+    }
+
+    /// Overall padding efficiency: actual / padded tokens.
+    pub fn efficiency(&self) -> f64 {
+        ratio(self.actual_tokens, self.padded_tokens)
+    }
+
+    /// Encoder-side efficiency.
+    pub fn encoder_efficiency(&self) -> f64 {
+        ratio(self.enc_actual, self.enc_padded)
+    }
+
+    /// Decoder-side efficiency.
+    pub fn decoder_efficiency(&self) -> f64 {
+        ratio(self.dec_actual, self.dec_padded)
+    }
+}
+
+fn ratio(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        1.0
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+/// Padding efficiency of a micro-batch set — the Fig. 4/15 metric
+/// ("dividing the non-padding tokens by the total number of tokens
+/// processed").
+pub fn padding_efficiency(mbs: &[MicroBatch], arch: ModelArch) -> f64 {
+    PaddingStats::from_micro_batches(mbs, arch).efficiency()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynapipe_data::Sample;
+
+    fn sample(id: u64, input: usize, target: usize) -> Sample {
+        Sample {
+            id,
+            task: 0,
+            input_len: input,
+            target_len: target,
+        }
+    }
+
+    #[test]
+    fn perfect_efficiency_for_uniform_lengths() {
+        let mbs = vec![MicroBatch::new(vec![
+            sample(0, 128, 16),
+            sample(1, 128, 16),
+        ])];
+        assert!((padding_efficiency(&mbs, ModelArch::T5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_lengths_lower_efficiency() {
+        let mbs = vec![MicroBatch::new(vec![
+            sample(0, 1000, 100),
+            sample(1, 100, 10),
+        ])];
+        let e = padding_efficiency(&mbs, ModelArch::Gpt);
+        assert!(e < 0.6, "efficiency {e}");
+    }
+
+    #[test]
+    fn encoder_and_decoder_tracked_separately() {
+        // Equal inputs but very different targets: encoder efficiency 1,
+        // decoder efficiency low — the T5 packing asymmetry of Fig. 15b.
+        let mbs = vec![MicroBatch::new(vec![
+            sample(0, 256, 200),
+            sample(1, 256, 10),
+        ])];
+        let s = PaddingStats::from_micro_batches(&mbs, ModelArch::T5);
+        assert!((s.encoder_efficiency() - 1.0).abs() < 1e-12);
+        assert!(s.decoder_efficiency() < 0.6);
+    }
+
+    #[test]
+    fn grouping_by_length_improves_efficiency() {
+        let all = vec![
+            sample(0, 1000, 100),
+            sample(1, 990, 95),
+            sample(2, 50, 5),
+            sample(3, 55, 6),
+        ];
+        let one_big = vec![MicroBatch::new(all.clone())];
+        let grouped = vec![
+            MicroBatch::new(all[0..2].to_vec()),
+            MicroBatch::new(all[2..4].to_vec()),
+        ];
+        assert!(
+            padding_efficiency(&grouped, ModelArch::T5)
+                > padding_efficiency(&one_big, ModelArch::T5) + 0.2
+        );
+    }
+
+    #[test]
+    fn empty_set_is_fully_efficient() {
+        assert_eq!(padding_efficiency(&[], ModelArch::Gpt), 1.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! The micro-batch: a group of samples padded to a common shape.
+
+use dynapipe_data::Sample;
+use dynapipe_model::{MicroBatchShape, ModelArch};
+use serde::{Deserialize, Serialize};
+
+/// A micro-batch of samples. Samples are padded (per architecture) to the
+/// longest input/target lengths in the group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MicroBatch {
+    /// The member samples.
+    pub samples: Vec<Sample>,
+}
+
+impl MicroBatch {
+    /// Micro-batch over the given samples.
+    pub fn new(samples: Vec<Sample>) -> Self {
+        MicroBatch { samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the micro-batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The padded tensor shape under the given architecture.
+    pub fn shape(&self, arch: ModelArch) -> MicroBatchShape {
+        if self.samples.is_empty() {
+            return MicroBatchShape::empty();
+        }
+        match arch {
+            ModelArch::Gpt => {
+                let max = self.samples.iter().map(Sample::gpt_len).max().unwrap_or(0);
+                MicroBatchShape::gpt(self.samples.len(), max)
+            }
+            ModelArch::T5 => {
+                let enc = self.samples.iter().map(|s| s.input_len).max().unwrap_or(0);
+                let dec = self.samples.iter().map(|s| s.target_len).max().unwrap_or(0);
+                // A zero-length side still occupies one padded position.
+                MicroBatchShape::t5(self.samples.len(), enc.max(1), dec.max(1))
+            }
+        }
+    }
+
+    /// Non-padding tokens carried by the micro-batch.
+    pub fn actual_tokens(&self) -> u64 {
+        self.samples.iter().map(|s| s.total_tokens() as u64).sum()
+    }
+
+    /// Total tokens processed after padding.
+    pub fn padded_tokens(&self, arch: ModelArch) -> u64 {
+        self.shape(arch).padded_tokens()
+    }
+
+    /// Padding efficiency: actual / padded tokens, in (0, 1].
+    pub fn padding_efficiency(&self, arch: ModelArch) -> f64 {
+        let padded = self.padded_tokens(arch);
+        if padded == 0 {
+            return 1.0;
+        }
+        self.actual_tokens() as f64 / padded as f64
+    }
+
+    /// Encoder-side padding efficiency (T5 view).
+    pub fn encoder_efficiency(&self) -> f64 {
+        let shape = self.shape(ModelArch::T5);
+        let padded = (shape.batch_size * shape.enc_len) as u64;
+        if padded == 0 {
+            return 1.0;
+        }
+        let actual: u64 = self.samples.iter().map(|s| s.input_len as u64).sum();
+        actual as f64 / padded as f64
+    }
+
+    /// Decoder-side padding efficiency (T5 view).
+    pub fn decoder_efficiency(&self) -> f64 {
+        let shape = self.shape(ModelArch::T5);
+        let padded = (shape.batch_size * shape.dec_len) as u64;
+        if padded == 0 {
+            return 1.0;
+        }
+        let actual: u64 = self.samples.iter().map(|s| s.target_len as u64).sum();
+        actual as f64 / padded as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(id: u64, input: usize, target: usize) -> Sample {
+        Sample {
+            id,
+            task: 0,
+            input_len: input,
+            target_len: target,
+        }
+    }
+
+    #[test]
+    fn shape_pads_to_longest() {
+        let mb = MicroBatch::new(vec![sample(0, 100, 10), sample(1, 50, 30)]);
+        let g = mb.shape(ModelArch::Gpt);
+        assert_eq!(g.batch_size, 2);
+        assert_eq!(g.enc_len, 110);
+        let t = mb.shape(ModelArch::T5);
+        assert_eq!(t.enc_len, 100);
+        assert_eq!(t.dec_len, 30);
+    }
+
+    #[test]
+    fn efficiency_is_one_for_identical_samples() {
+        let mb = MicroBatch::new(vec![sample(0, 64, 16), sample(1, 64, 16)]);
+        assert!((mb.padding_efficiency(ModelArch::T5) - 1.0).abs() < 1e-12);
+        assert!((mb.padding_efficiency(ModelArch::Gpt) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_drops_with_length_mismatch() {
+        let mb = MicroBatch::new(vec![sample(0, 1000, 10), sample(1, 10, 10)]);
+        assert!(mb.padding_efficiency(ModelArch::Gpt) < 0.55);
+        assert!(mb.encoder_efficiency() < 0.55);
+        assert!((mb.decoder_efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_micro_batch_is_benign() {
+        let mb = MicroBatch::new(vec![]);
+        assert!(mb.is_empty());
+        assert_eq!(mb.shape(ModelArch::Gpt), MicroBatchShape::empty());
+        assert_eq!(mb.padding_efficiency(ModelArch::T5), 1.0);
+    }
+
+    #[test]
+    fn zero_length_side_padded_to_one() {
+        let mb = MicroBatch::new(vec![Sample {
+            id: 0,
+            task: 0,
+            input_len: 10,
+            target_len: 0,
+        }]);
+        let t = mb.shape(ModelArch::T5);
+        assert_eq!(t.dec_len, 1);
+    }
+}

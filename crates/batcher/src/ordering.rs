@@ -1,0 +1,227 @@
+//! Sample ordering: make neighbours similar in length (§4).
+//!
+//! Two strategies from the paper:
+//!
+//! * **Sort** — decoder-only models sort by sequence length; encoder-decoder
+//!   models sort lexicographically by (input, target) length.
+//! * **TSP** — treat each (input, target) length pair as a 2D point and find
+//!   a short visiting order (nearest-neighbour construction followed by
+//!   2-opt improvement), minimizing the total length-distance between
+//!   adjacent samples.
+//!
+//! §8.4 finds the two perform similarly; both are implemented so the
+//! ablation (Fig. 16a, "S" vs "T" variants) can be reproduced.
+
+use dynapipe_data::Sample;
+use dynapipe_model::ModelArch;
+use serde::{Deserialize, Serialize};
+
+/// Which ordering method to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OrderingStrategy {
+    /// Lexicographic sort by (input, target) length.
+    Sort,
+    /// Travelling-salesman heuristic over length pairs.
+    Tsp,
+}
+
+impl OrderingStrategy {
+    /// Apply the strategy in place.
+    pub fn apply(self, arch: ModelArch, samples: &mut [Sample]) {
+        match self {
+            OrderingStrategy::Sort => sort_samples(arch, samples),
+            OrderingStrategy::Tsp => tsp_order(samples),
+        }
+    }
+}
+
+/// Sort samples for micro-batching: by combined length for decoder-only
+/// models, lexicographically by (input, target) for encoder-decoder models.
+pub fn sort_samples(arch: ModelArch, samples: &mut [Sample]) {
+    match arch {
+        ModelArch::Gpt => samples.sort_by_key(|s| (s.gpt_len(), s.id)),
+        ModelArch::T5 => samples.sort_by_key(|s| (s.input_len, s.target_len, s.id)),
+    }
+}
+
+/// Manhattan distance between two samples' length pairs — the padding a
+/// micro-batch spanning both would add per sample, to first order.
+fn dist(a: &Sample, b: &Sample) -> u64 {
+    a.input_len.abs_diff(b.input_len) as u64 + a.target_len.abs_diff(b.target_len) as u64
+}
+
+/// Order samples with a TSP heuristic over (input, target) length points:
+/// nearest-neighbour from the shortest sample, then 2-opt until no
+/// improving exchange remains (bounded passes keep it near `O(n²)`). The
+/// lexicographically sorted order is kept as a fallback whenever the
+/// heuristic's path is not shorter, so TSP ordering never loses to sorting.
+pub fn tsp_order(samples: &mut [Sample]) {
+    let n = samples.len();
+    if n <= 2 {
+        samples.sort_by_key(|s| (s.input_len, s.target_len, s.id));
+        return;
+    }
+    let mut sorted_fallback = samples.to_vec();
+    sorted_fallback.sort_by_key(|s| (s.input_len, s.target_len, s.id));
+    // Nearest-neighbour construction starting from the shortest sample.
+    let start = (0..n)
+        .min_by_key(|&i| (samples[i].input_len + samples[i].target_len, samples[i].id))
+        .expect("non-empty");
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    let mut cur = start;
+    used[cur] = true;
+    order.push(cur);
+    for _ in 1..n {
+        let next = (0..n)
+            .filter(|&j| !used[j])
+            .min_by_key(|&j| (dist(&samples[cur], &samples[j]), samples[j].id))
+            .expect("unused sample remains");
+        used[next] = true;
+        order.push(next);
+        cur = next;
+    }
+    // 2-opt improvement on the open path.
+    let mut path: Vec<Sample> = order.into_iter().map(|i| samples[i]).collect();
+    let max_passes = 8;
+    for _ in 0..max_passes {
+        let mut improved = false;
+        for i in 0..n - 2 {
+            for j in i + 2..n {
+                // Reversing path[i+1..=j] replaces edges (i,i+1) and
+                // (j,j+1) with (i,j) and (i+1,j+1).
+                let before = dist(&path[i], &path[i + 1])
+                    + if j + 1 < n {
+                        dist(&path[j], &path[j + 1])
+                    } else {
+                        0
+                    };
+                let after = dist(&path[i], &path[j])
+                    + if j + 1 < n {
+                        dist(&path[i + 1], &path[j + 1])
+                    } else {
+                        0
+                    };
+                if after < before {
+                    path[i + 1..=j].reverse();
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    if path_cost(&path) < path_cost(&sorted_fallback) {
+        samples.copy_from_slice(&path);
+    } else {
+        samples.copy_from_slice(&sorted_fallback);
+    }
+}
+
+/// Total adjacent-pair length distance of an ordering — the quantity TSP
+/// minimizes; exposed for tests and the ordering ablation.
+pub fn path_cost(samples: &[Sample]) -> u64 {
+    samples.windows(2).map(|w| dist(&w[0], &w[1])).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(id: u64, input: usize, target: usize) -> Sample {
+        Sample {
+            id,
+            task: 0,
+            input_len: input,
+            target_len: target,
+        }
+    }
+
+    fn mixed() -> Vec<Sample> {
+        vec![
+            sample(0, 1000, 50),
+            sample(1, 30, 5),
+            sample(2, 500, 500),
+            sample(3, 35, 4),
+            sample(4, 980, 55),
+            sample(5, 40, 400),
+            sample(6, 33, 6),
+            sample(7, 490, 480),
+        ]
+    }
+
+    #[test]
+    fn sort_gpt_orders_by_total_length() {
+        let mut s = mixed();
+        sort_samples(ModelArch::Gpt, &mut s);
+        let lens: Vec<usize> = s.iter().map(Sample::gpt_len).collect();
+        assert!(lens.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn sort_t5_orders_lexicographically() {
+        let mut s = mixed();
+        sort_samples(ModelArch::T5, &mut s);
+        assert!(s
+            .windows(2)
+            .all(|w| (w[0].input_len, w[0].target_len) <= (w[1].input_len, w[1].target_len)));
+    }
+
+    #[test]
+    fn tsp_no_worse_than_sorted_on_path_cost() {
+        let mut sorted = mixed();
+        sort_samples(ModelArch::T5, &mut sorted);
+        let mut tsp = mixed();
+        tsp_order(&mut tsp);
+        assert!(
+            path_cost(&tsp) <= path_cost(&sorted),
+            "tsp {} vs sorted {}",
+            path_cost(&tsp),
+            path_cost(&sorted)
+        );
+    }
+
+    #[test]
+    fn tsp_is_a_permutation() {
+        let orig = mixed();
+        let mut t = orig.clone();
+        tsp_order(&mut t);
+        let mut a: Vec<u64> = orig.iter().map(|s| s.id).collect();
+        let mut b: Vec<u64> = t.iter().map(|s| s.id).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tsp_groups_similar_lengths() {
+        let mut s = mixed();
+        tsp_order(&mut s);
+        // The three ~30-token samples must be adjacent.
+        let pos: Vec<usize> = s
+            .iter()
+            .enumerate()
+            .filter(|(_, x)| x.input_len < 50 && x.target_len < 10)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(pos.len(), 3);
+        assert_eq!(
+            pos[2] - pos[0],
+            2,
+            "short cluster should be contiguous: {pos:?}"
+        );
+    }
+
+    #[test]
+    fn tiny_inputs_handled() {
+        let mut empty: Vec<Sample> = vec![];
+        tsp_order(&mut empty);
+        let mut one = vec![sample(0, 5, 5)];
+        tsp_order(&mut one);
+        assert_eq!(one.len(), 1);
+        let mut two = vec![sample(0, 50, 5), sample(1, 5, 5)];
+        tsp_order(&mut two);
+        assert_eq!(two[0].id, 1, "shorter first after sort fallback");
+    }
+}

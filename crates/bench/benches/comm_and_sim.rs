@@ -1,0 +1,100 @@
+//! Criterion bench: communication planning (§6), plan verification, the
+//! discrete-event simulator, and the §7 allocator ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynapipe_comm::{plan_communication, verify_deadlock_free, PlanInputs};
+use dynapipe_core::{compile_replica, DynaPipePlanner, PlannerConfig};
+use dynapipe_cost::{CostModel, ProfileOptions};
+use dynapipe_data::{Dataset, GlobalBatchConfig, GlobalBatchIter};
+use dynapipe_model::memory::RecomputeMode;
+use dynapipe_model::{HardwareModel, MicroBatchShape, ModelConfig, ParallelConfig};
+use dynapipe_schedule::{adaptive_schedule, evaluate_schedule, ScheduleInput};
+use dynapipe_sim::{AllocatorMode, Engine, EngineConfig};
+use std::sync::Arc;
+
+fn bench_comm_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm_planning");
+    for (m, stages) in [(16usize, 4usize), (64, 8)] {
+        let mut input = ScheduleInput::uniform(m, stages, 100.0, 200.0, 1);
+        for i in 0..m {
+            let scale = 0.4 + ((i * 31) % 11) as f64 / 6.0;
+            for j in 0..stages {
+                input.fwd[i][j] *= scale;
+                input.bwd[i][j] *= scale;
+            }
+        }
+        let schedule = adaptive_schedule(&input);
+        let timeline = evaluate_schedule(&schedule, &input).unwrap();
+        let boundary = vec![vec![1 << 20; stages - 1]; m];
+        let shapes = vec![MicroBatchShape::gpt(2, 1024); m];
+        group.bench_with_input(
+            BenchmarkId::new("plan", format!("m{m}_c{stages}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    plan_communication(&PlanInputs {
+                        schedule: &schedule,
+                        timeline: &timeline,
+                        boundary_bytes: &boundary,
+                        shapes: &shapes,
+                        recompute: RecomputeMode::None,
+                    })
+                    .num_instructions()
+                })
+            },
+        );
+        let plan = plan_communication(&PlanInputs {
+            schedule: &schedule,
+            timeline: &timeline,
+            boundary_bytes: &boundary,
+            shapes: &shapes,
+            recompute: RecomputeMode::None,
+        });
+        group.bench_with_input(
+            BenchmarkId::new("verify", format!("m{m}_c{stages}")),
+            &plan,
+            |b, plan| b.iter(|| verify_deadlock_free(std::hint::black_box(plan)).is_ok()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let cm = Arc::new(CostModel::build(
+        HardwareModel::a100_cluster(),
+        ModelConfig::gpt_3_35b(),
+        ParallelConfig::new(1, 1, 4),
+        &ProfileOptions::default(),
+    ));
+    let planner = DynaPipePlanner::new(cm.clone(), PlannerConfig::default());
+    let dataset = Dataset::flanv2(88, 2000);
+    let minibatch = GlobalBatchIter::new(
+        &dataset,
+        GlobalBatchConfig {
+            tokens_per_batch: 65536,
+            max_seq_len: 2048,
+        },
+    )
+    .next()
+    .unwrap();
+    let plan = planner.plan_iteration(&minibatch).unwrap();
+    let programs = compile_replica(&cm, &plan.replicas[0].plan);
+    let mut group = c.benchmark_group("simulator");
+    for mode in [AllocatorMode::PreAllocatedPool, AllocatorMode::Caching] {
+        group.bench_with_input(
+            BenchmarkId::new("iteration", format!("{mode:?}")),
+            &programs,
+            |b, programs| {
+                b.iter(|| {
+                    let mut cfg = EngineConfig::unbounded(cm.hw.clone(), cm.num_stages());
+                    cfg.allocator_mode = mode;
+                    Engine::new(cfg, programs.clone()).run().unwrap().makespan
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_comm_planning, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion bench: the DP micro-batch partitioner (§4) — the dominant
+//! term in Fig. 17's planning time — across mini-batch sizes and `t_max`
+//! candidate budgets (the resolution ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynapipe_batcher::{sort_samples, DpConfig, Partitioner};
+use dynapipe_cost::{CostModel, ProfileOptions};
+use dynapipe_data::{Dataset, Sample};
+use dynapipe_model::{HardwareModel, ModelConfig, ParallelConfig};
+
+fn minibatch(tokens: usize) -> Vec<Sample> {
+    let d = Dataset::flanv2(77, 20_000);
+    let mut out = Vec::new();
+    let mut acc = 0usize;
+    for s in &d.samples {
+        let s = s.truncated(4096);
+        acc += s.total_tokens();
+        out.push(s);
+        if acc >= tokens {
+            break;
+        }
+    }
+    out
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let cm = CostModel::build(
+        HardwareModel::a100_cluster(),
+        ModelConfig::gpt_6_7b(),
+        ParallelConfig::new(1, 2, 4),
+        &ProfileOptions::default(),
+    );
+    let mut group = c.benchmark_group("dp_partitioner");
+    group.sample_size(10);
+    for gbs in [16384usize, 65536] {
+        let mut samples = minibatch(gbs);
+        sort_samples(cm.model.arch, &mut samples);
+        group.bench_with_input(BenchmarkId::new("gbs", gbs), &samples, |b, samples| {
+            let p = Partitioner::new(&cm, DpConfig::new(cm.min_activation_budget()));
+            b.iter(|| {
+                p.partition(std::hint::black_box(samples))
+                    .unwrap()
+                    .num_micro_batches()
+            })
+        });
+    }
+    // Ablation: t_max candidate budget (resolution of the outer sweep).
+    let mut samples = minibatch(65536);
+    sort_samples(cm.model.arch, &mut samples);
+    for cands in [16usize, 96, 512] {
+        group.bench_with_input(
+            BenchmarkId::new("tmax_candidates", cands),
+            &samples,
+            |b, samples| {
+                let mut cfg = DpConfig::new(cm.min_activation_budget());
+                cfg.max_candidates = cands;
+                let p = Partitioner::new(&cm, cfg);
+                b.iter(|| {
+                    p.partition(std::hint::black_box(samples))
+                        .unwrap()
+                        .est_iteration_time
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioner);
+criterion_main!(benches);

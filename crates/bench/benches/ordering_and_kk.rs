@@ -1,0 +1,53 @@
+//! Criterion bench: sample ordering (sort vs TSP, §4/§8.4) and
+//! Karmarkar–Karp replica balancing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynapipe_batcher::{karmarkar_karp, sort_samples, tsp_order};
+use dynapipe_data::{Dataset, Sample};
+use dynapipe_model::ModelArch;
+
+fn samples(n: usize) -> Vec<Sample> {
+    Dataset::flanv2(55, n)
+        .samples
+        .iter()
+        .map(|s| s.truncated(4096))
+        .collect()
+}
+
+fn bench_ordering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ordering");
+    for n in [64usize, 256, 512] {
+        let base = samples(n);
+        group.bench_with_input(BenchmarkId::new("sort", n), &base, |b, base| {
+            b.iter(|| {
+                let mut s = base.clone();
+                sort_samples(ModelArch::T5, &mut s);
+                s.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tsp", n), &base, |b, base| {
+            b.iter(|| {
+                let mut s = base.clone();
+                tsp_order(&mut s);
+                s.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_kk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("karmarkar_karp");
+    for (n, k) in [(32usize, 2usize), (128, 4), (512, 8)] {
+        let weights: Vec<f64> = (0..n).map(|i| 10.0 + ((i * 7919) % 997) as f64).collect();
+        group.bench_with_input(
+            BenchmarkId::new("partition", format!("n{n}_k{k}")),
+            &weights,
+            |b, w| b.iter(|| karmarkar_karp(std::hint::black_box(w), k).len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ordering, bench_kk);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion bench: pipeline schedulers (§5) — 1F1B generation, the
+//! memory-aware adaptive schedule, timeline evaluation, and the
+//! cluster-count ablation of micro-batch reordering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynapipe_schedule::{
+    adaptive_schedule, evaluate_schedule, one_f_one_b, reorder_micro_batches, ReorderConfig,
+    ScheduleInput,
+};
+
+fn varied_input(m: usize, c: usize) -> ScheduleInput {
+    let mut input = ScheduleInput::uniform(m, c, 100.0, 200.0, 1000);
+    for i in 0..m {
+        let scale = 0.3 + ((i * 2654435761) % 17) as f64 / 10.0;
+        for j in 0..c {
+            input.fwd[i][j] *= scale;
+            input.bwd[i][j] *= scale;
+        }
+    }
+    input.mem_limit = vec![6000; c];
+    input
+}
+
+fn bench_schedules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedules");
+    for (m, stages) in [(32usize, 4usize), (64, 8), (128, 16)] {
+        let input = varied_input(m, stages);
+        group.bench_with_input(
+            BenchmarkId::new("onefb", format!("m{m}_c{stages}")),
+            &(m, stages),
+            |b, &(m, stages)| b.iter(|| one_f_one_b(m, stages)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("adaptive", format!("m{m}_c{stages}")),
+            &input,
+            |b, input| b.iter(|| adaptive_schedule(std::hint::black_box(input))),
+        );
+        let schedule = adaptive_schedule(&input);
+        group.bench_with_input(
+            BenchmarkId::new("timeline_eval", format!("m{m}_c{stages}")),
+            &(schedule, input),
+            |b, (schedule, input)| {
+                b.iter(|| evaluate_schedule(schedule, input).unwrap().times.makespan)
+            },
+        );
+    }
+    // Ablation: reordering cluster count (paper: 3-4 suffice; cost grows
+    // factorially with the cluster count).
+    let input = varied_input(24, 4);
+    for k in [2usize, 3, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("reorder_clusters", k),
+            &input,
+            |b, input| {
+                b.iter(|| reorder_micro_batches(input, &ReorderConfig { num_clusters: k }).1)
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedules);
+criterion_main!(benches);

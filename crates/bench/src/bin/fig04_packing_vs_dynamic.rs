@@ -1,0 +1,99 @@
+//! Fig. 4: GPT and T5 training performance under packing vs dynamic
+//! micro-batching — normalized throughput and padding efficiency vs the
+//! maximum sequence length, plus the naive-padding strawman.
+
+use dynapipe_batcher::{sort_samples, MicroBatch, PaddingStats};
+use dynapipe_bench::{eval_dynapipe, eval_packing, write_json, BenchOpts, Point};
+use dynapipe_data::{Dataset, Sample};
+use dynapipe_model::{HardwareModel, ModelConfig};
+
+fn naive_padding_efficiency(dataset: &Dataset, msl: usize, arch: dynapipe_model::ModelArch) -> f64 {
+    // Mini-batch-sized chunks padded to the longest sample in each chunk.
+    let samples: Vec<Sample> = dataset.samples.iter().map(|s| s.truncated(msl)).collect();
+    let mbs: Vec<MicroBatch> = samples
+        .chunks(256)
+        .map(|c| MicroBatch::new(c.to_vec()))
+        .collect();
+    PaddingStats::from_micro_batches(&mbs, arch).efficiency()
+}
+
+fn main() {
+    let opts = BenchOpts::default();
+    let hw = HardwareModel::a100_cluster();
+    let dataset = Dataset::flanv2(opts.seed, opts.dataset_samples);
+    let mut out = Vec::new();
+    for (name, model, gpus, msls) in [
+        (
+            "GPT",
+            ModelConfig::gpt_6_7b(),
+            8usize,
+            vec![512usize, 1024, 2048, 4096, 8192],
+        ),
+        ("T5", ModelConfig::t5_11b(), 8, vec![512, 1024, 2048, 4096]),
+    ] {
+        println!("=== Fig. 4 ({name}) — normalized throughput & padding efficiency ===");
+        println!(
+            "{:>8} | {:>9} {:>9} | {:>7} {:>7} {:>7}",
+            "max len", "pack t/s", "dyn t/s", "naive", "pack", "dyn"
+        );
+        // Normalize throughputs by the best dynamic point, as the paper does.
+        let mut rows = Vec::new();
+        for &msl in &msls {
+            let point = Point {
+                model,
+                num_gpus: gpus,
+                max_seq_len: msl,
+                gbs_tokens: 65536,
+            };
+            let dyna = eval_dynapipe(&hw, &dataset, &point, &opts);
+            let packing = match &dyna {
+                Some((_, par)) => {
+                    // Paper Fig. 4 compares under the same settings.
+                    eval_packing(&hw, &dataset, &point, &opts, Some(*par))
+                        .or_else(|| eval_packing(&hw, &dataset, &point, &opts, None))
+                }
+                None => eval_packing(&hw, &dataset, &point, &opts, None),
+            };
+            let naive_eff = naive_padding_efficiency(&dataset, msl, model.arch);
+            let mut sorted: Vec<Sample> =
+                dataset.samples.iter().map(|s| s.truncated(msl)).collect();
+            sort_samples(model.arch, &mut sorted);
+            rows.push((msl, dyna, packing, naive_eff));
+        }
+        let norm = rows
+            .iter()
+            .filter_map(|(_, d, _, _)| d.as_ref().map(|(r, _)| r.throughput))
+            .fold(1.0, f64::max);
+        for (msl, dyna, packing, naive_eff) in &rows {
+            let (dyn_tps, dyn_eff) = dyna
+                .as_ref()
+                .map(|(r, _)| (Some(r.throughput), r.padding_efficiency))
+                .unwrap_or((None, 0.0));
+            let (pack_tps, pack_eff) = packing
+                .as_ref()
+                .map(|r| (Some(r.throughput), r.padding_efficiency))
+                .unwrap_or((None, 0.0));
+            println!(
+                "{msl:>8} | {:>9} {:>9} | {naive_eff:>7.3} {pack_eff:>7.3} {dyn_eff:>7.3}",
+                pack_tps
+                    .map(|t| format!("{:.2}", t / norm))
+                    .unwrap_or("OOM".into()),
+                dyn_tps
+                    .map(|t| format!("{:.2}", t / norm))
+                    .unwrap_or("OOM".into()),
+            );
+            out.push(serde_json::json!({
+                "model": name, "max_seq_len": msl,
+                "packing_tps": pack_tps, "dynamic_tps": dyn_tps,
+                "naive_eff": naive_eff, "packing_eff": pack_eff, "dynamic_eff": dyn_eff,
+            }));
+        }
+        println!();
+    }
+    println!(
+        "Shape check (paper Fig. 4): packing's normalized throughput falls steeply\n\
+         with max length; dynamic micro-batching only drifts down slowly. Naive\n\
+         padding efficiency collapses while packing and dynamic stay high."
+    );
+    write_json("fig04_packing_vs_dynamic", &out);
+}

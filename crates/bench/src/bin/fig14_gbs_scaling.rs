@@ -1,0 +1,66 @@
+//! Fig. 14: training throughput vs global batch size (max seq len 2048).
+
+use dynapipe_bench::{eval_dynapipe, eval_packing, fmt_tps, write_json, BenchOpts, Point};
+use dynapipe_data::Dataset;
+use dynapipe_model::{HardwareModel, ModelConfig};
+
+fn main() {
+    let opts = BenchOpts::default();
+    let hw = HardwareModel::a100_cluster();
+    let dataset = Dataset::flanv2(opts.seed, opts.dataset_samples);
+    let mut out = Vec::new();
+    for arch_t5 in [false, true] {
+        for gpus in opts.cluster_sizes() {
+            let model = if arch_t5 {
+                ModelConfig::t5_for_gpus(gpus).unwrap()
+            } else {
+                ModelConfig::gpt_for_gpus(gpus).unwrap()
+            };
+            let name = if arch_t5 { "T5" } else { "GPT" };
+            println!(
+                "=== Fig. 14 — {name} ({:.2}B) on {gpus} GPUs, max seq len 2048 ===",
+                model.total_params_b()
+            );
+            println!(
+                "{:>8} | {:>10} | {:>10} | {:>10} | {:>14}",
+                "GBS", "MLM+DS(C)", "MLM+DS", "DynaPipe", "dyn parallel"
+            );
+            for gbs in [16384usize, 32768, 65536, 131072] {
+                let point = Point {
+                    model,
+                    num_gpus: gpus,
+                    max_seq_len: 2048,
+                    gbs_tokens: gbs,
+                };
+                let dyna = eval_dynapipe(&hw, &dataset, &point, &opts);
+                let (dyn_tps, dyn_par) = match &dyna {
+                    Some((r, p)) => (Some(r.throughput), Some(*p)),
+                    None => (None, None),
+                };
+                let mlm = eval_packing(&hw, &dataset, &point, &opts, None);
+                let mlm_c =
+                    dyn_par.and_then(|p| eval_packing(&hw, &dataset, &point, &opts, Some(p)));
+                println!(
+                    "{gbs:>8} | {} | {} | {} | {:>14}",
+                    fmt_tps(mlm_c.as_ref().map(|r| r.throughput)),
+                    fmt_tps(mlm.as_ref().map(|r| r.throughput)),
+                    fmt_tps(dyn_tps),
+                    dyn_par.map(|p| p.to_string()).unwrap_or("-".into())
+                );
+                out.push(serde_json::json!({
+                    "model": name, "gpus": gpus, "gbs": gbs,
+                    "dynapipe": dyna.as_ref().map(|(r, _)| r),
+                    "mlm_ds": mlm,
+                    "mlm_ds_c": mlm_c,
+                }));
+            }
+            println!();
+        }
+    }
+    println!(
+        "Shape check (paper Fig. 14): throughput grows with global batch size for\n\
+         both systems (smaller pipeline bubble, less frequent gradient sync), and\n\
+         DynaPipe grows faster thanks to richer micro-batch-splitting choices."
+    );
+    write_json("fig14_gbs_scaling", &out);
+}

@@ -1,0 +1,53 @@
+//! Run every figure-regeneration binary in sequence — the reproduction's
+//! analogue of the paper artifact's `run_all.sh`.
+//!
+//! Results land in `results/*.json`; console output shows each figure's
+//! table and its expected-shape note.
+
+use std::process::Command;
+
+const FIGURES: &[&str] = &[
+    "fig01_dataset",
+    "fig03_layer_time",
+    "fig04_packing_vs_dynamic",
+    "fig05_microbatching_sweep",
+    "fig07_noise_robustness",
+    "fig13_seqlen_scaling",
+    "fig14_gbs_scaling",
+    "fig15_padding_efficiency",
+    "fig16_ablation",
+    "fig17_planning_time",
+    "fig18_cost_model_accuracy",
+    "ablation_recompute",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("exe dir");
+    let mut failures = Vec::new();
+    for name in FIGURES {
+        println!("\n================ {name} ================\n");
+        let status = Command::new(dir.join(name)).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{name} exited with {s}");
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!("could not launch {name}: {e}");
+                failures.push(*name);
+            }
+        }
+    }
+    println!("\n================ summary ================");
+    if failures.is_empty() {
+        println!(
+            "all {} figure binaries completed; results in results/",
+            FIGURES.len()
+        );
+    } else {
+        println!("failed: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,31 @@
+//! Pipeline instructions and communication planning (§3 and §6).
+//!
+//! DynaPipe compiles each training iteration into per-device sequences of
+//! *pipeline instructions* — `ForwardPass`/`BackwardPass` plus communication
+//! ops split into asynchronous `Start` and blocking `Wait` halves
+//! (`SendActStart`, `WaitRecvAct`, …). Dynamic schedules produce irregular
+//! communication patterns where the naive order (send on produce, receive
+//! on use) deadlocks under NCCL's one-channel-per-pair, order-matched
+//! semantics (§2.3).
+//!
+//! The planner here implements the paper's fix: walk the simulated
+//! execution timeline in ascending end-time order and, at each tensor's
+//! production, enqueue *both* the send on the producer and the matching
+//! receive on the consumer — making per-pair communication order globally
+//! consistent by construction. `Wait` ops are placed as late as possible
+//! (immediately before the consuming computation) to maximize overlap.
+//!
+//! [`verify`] independently checks any instruction stream for deadlock
+//! freedom with an abstract executor, and [`naive`] builds the
+//! deliberately-unsafe baseline order so tests (and the motivation
+//! experiment) can demonstrate the deadlock the planner avoids.
+
+pub mod instruction;
+pub mod naive;
+pub mod plan;
+pub mod verify;
+
+pub use instruction::{CommKind, ExecutionPlan, Instr};
+pub use naive::naive_plan;
+pub use plan::{plan_communication, PlanInputs};
+pub use verify::{verify_deadlock_free, VerifyError};

@@ -1,0 +1,157 @@
+//! The naive communication order (§2.3's strawman): send right after a
+//! tensor is produced, receive right before it is used.
+//!
+//! Under 1F1B with uniform micro-batches this happens to align across
+//! stages, but under dynamic schedules the per-pair orders disagree and the
+//! pipeline deadlocks — the motivating failure DynaPipe's planner (§6)
+//! eliminates. This module exists to reproduce that failure in tests and in
+//! the motivation experiment.
+
+use crate::instruction::{CommKind, ExecutionPlan, Instr};
+use dynapipe_model::memory::RecomputeMode;
+use dynapipe_model::{Bytes, MicroBatchShape};
+use dynapipe_schedule::Schedule;
+
+/// Build the naive plan: on each stage, walk the schedule order; emit
+/// `RecvStart` + `Wait` immediately before each consuming computation and
+/// `SendStart` immediately after each producing computation.
+pub fn naive_plan(
+    schedule: &Schedule,
+    boundary_bytes: &[Vec<Bytes>],
+    shapes: &[MicroBatchShape],
+    recompute: RecomputeMode,
+) -> ExecutionPlan {
+    let c = schedule.num_stages();
+    let nb = c.saturating_sub(1);
+    let tag_of = |mb: usize, boundary: usize, grad: bool| -> u64 {
+        ((mb * nb.max(1) + boundary) * 2 + usize::from(grad)) as u64
+    };
+    let mut per_stage = Vec::with_capacity(c);
+    for j in 0..c {
+        let mut stream = Vec::new();
+        for op in &schedule.orders[j] {
+            // Receive-on-use.
+            if !op.backward && j > 0 {
+                let tag = tag_of(op.mb, j - 1, false);
+                stream.push(Instr::CommStart {
+                    kind: CommKind::RecvAct,
+                    mb: op.mb as u32,
+                    peer: (j - 1) as u32,
+                    bytes: boundary_bytes[op.mb][j - 1],
+                    tag,
+                });
+                stream.push(Instr::CommWait {
+                    kind: CommKind::RecvAct,
+                    mb: op.mb as u32,
+                    tag,
+                });
+            }
+            if op.backward && j + 1 < c {
+                let tag = tag_of(op.mb, j, true);
+                stream.push(Instr::CommStart {
+                    kind: CommKind::RecvGrad,
+                    mb: op.mb as u32,
+                    peer: (j + 1) as u32,
+                    bytes: boundary_bytes[op.mb][j],
+                    tag,
+                });
+                stream.push(Instr::CommWait {
+                    kind: CommKind::RecvGrad,
+                    mb: op.mb as u32,
+                    tag,
+                });
+            }
+            stream.push(if op.backward {
+                Instr::BackwardPass { mb: op.mb as u32 }
+            } else {
+                Instr::ForwardPass { mb: op.mb as u32 }
+            });
+            // Send-on-produce.
+            if !op.backward && j + 1 < c {
+                stream.push(Instr::CommStart {
+                    kind: CommKind::SendAct,
+                    mb: op.mb as u32,
+                    peer: (j + 1) as u32,
+                    bytes: boundary_bytes[op.mb][j],
+                    tag: tag_of(op.mb, j, false),
+                });
+            }
+            if op.backward && j > 0 {
+                stream.push(Instr::CommStart {
+                    kind: CommKind::SendGrad,
+                    mb: op.mb as u32,
+                    peer: (j - 1) as u32,
+                    bytes: boundary_bytes[op.mb][j - 1],
+                    tag: tag_of(op.mb, j - 1, true),
+                });
+            }
+        }
+        per_stage.push(stream);
+    }
+    ExecutionPlan {
+        per_stage,
+        shapes: shapes.to_vec(),
+        recompute,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{verify_deadlock_free, VerifyError};
+    use dynapipe_schedule::{adaptive_schedule, one_f_one_b, ScheduleInput};
+
+    fn bytes(m: usize, c: usize) -> Vec<Vec<Bytes>> {
+        vec![vec![64; c.saturating_sub(1)]; m]
+    }
+
+    fn shapes(m: usize) -> Vec<MicroBatchShape> {
+        vec![MicroBatchShape::gpt(1, 64); m]
+    }
+
+    #[test]
+    fn naive_plan_is_wellformed() {
+        let s = one_f_one_b(4, 3);
+        let plan = naive_plan(&s, &bytes(4, 3), &shapes(4), RecomputeMode::None);
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn naive_unsafe_even_for_1f1b_without_fusion() {
+        // §2.3/Fig. 8a: 1F1B's steady state has send/recv *crossings*
+        // between adjacent stages, which real systems handle by fusing the
+        // pair into one sendrecv operator. Without fusion (this strawman),
+        // even 1F1B's order mismatches at the crossing — confirming why the
+        // planner must order both sides explicitly.
+        let s = one_f_one_b(6, 3);
+        let plan = naive_plan(&s, &bytes(6, 3), &shapes(6), RecomputeMode::None);
+        assert!(verify_deadlock_free(&plan).is_err());
+    }
+
+    #[test]
+    fn naive_safe_for_two_stage_forward_only_traffic() {
+        // A single micro-batch has no crossings; the naive order is fine.
+        let s = one_f_one_b(1, 2);
+        let plan = naive_plan(&s, &bytes(1, 2), &shapes(1), RecomputeMode::None);
+        verify_deadlock_free(&plan).unwrap();
+    }
+
+    #[test]
+    fn naive_deadlocks_under_dynamic_schedule() {
+        // An adaptive schedule with eager injection produces the irregular
+        // pattern of Fig. 8b; the naive order must deadlock on it.
+        let m = 8;
+        let c = 4;
+        let input = ScheduleInput::uniform(m, c, 10.0, 20.0, 1);
+        let s = adaptive_schedule(&input);
+        let plan = naive_plan(&s, &bytes(m, c), &shapes(m), RecomputeMode::None);
+        let err = verify_deadlock_free(&plan);
+        assert!(
+            err.is_err(),
+            "naive order should deadlock under the adaptive schedule"
+        );
+        match err.unwrap_err() {
+            VerifyError::OrderMismatch { .. } | VerifyError::Stall { .. } => {}
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Deadlock-freedom verification of execution plans.
+//!
+//! An abstract executor independent of the discrete-event simulator:
+//! computation is instantaneous, communication matches NCCL semantics (one
+//! in-flight transfer per device pair, strict order matching at the channel
+//! heads). Any plan that passes here runs without communication deadlock on
+//! the full simulator; plans with inconsistent per-pair orders fail with a
+//! diagnosis. DynaPipe runs this check on every generated plan.
+
+use crate::instruction::{ExecutionPlan, Instr};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Why verification failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Channel heads disagree (two sends, two receives, or different tags).
+    OrderMismatch {
+        /// The device pair.
+        pair: (usize, usize),
+        /// Human-readable description of the two head ops.
+        detail: String,
+    },
+    /// No device can make progress and unfinished instructions remain.
+    Stall {
+        /// Stages stuck, with their program counters.
+        stuck: Vec<(usize, usize)>,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::OrderMismatch { pair, detail } => {
+                write!(f, "channel {pair:?} order mismatch: {detail}")
+            }
+            VerifyError::Stall { stuck } => write!(f, "verification stall at {stuck:?}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Posted {
+    device: usize,
+    send: bool,
+    tag: u64,
+    bytes: u64,
+}
+
+/// Verify that `plan` executes to completion under NCCL channel semantics.
+pub fn verify_deadlock_free(plan: &ExecutionPlan) -> Result<(), VerifyError> {
+    let c = plan.num_stages();
+    let mut pc = vec![0usize; c];
+    let mut channels: HashMap<(usize, usize), (VecDeque<Posted>, VecDeque<Posted>)> =
+        HashMap::new();
+    let mut completed: HashSet<u64> = HashSet::new();
+
+    // Try to match the channel heads for `pair`; errors on inconsistency.
+    fn try_match(
+        pair: (usize, usize),
+        ch: &mut (VecDeque<Posted>, VecDeque<Posted>),
+        completed: &mut HashSet<u64>,
+    ) -> Result<(), VerifyError> {
+        loop {
+            let (Some(a), Some(b)) = (ch.0.front(), ch.1.front()) else {
+                return Ok(());
+            };
+            if a.send == b.send {
+                return Err(VerifyError::OrderMismatch {
+                    pair,
+                    detail: format!(
+                        "both heads are {} (tags {} and {})",
+                        if a.send { "sends" } else { "receives" },
+                        a.tag,
+                        b.tag
+                    ),
+                });
+            }
+            if a.tag != b.tag || a.bytes != b.bytes {
+                return Err(VerifyError::OrderMismatch {
+                    pair,
+                    detail: format!(
+                        "tag/size mismatch: ({}, {} B) vs ({}, {} B)",
+                        a.tag, a.bytes, b.tag, b.bytes
+                    ),
+                });
+            }
+            completed.insert(a.tag);
+            ch.0.pop_front();
+            ch.1.pop_front();
+        }
+    }
+
+    loop {
+        let mut progressed = false;
+        #[allow(clippy::needless_range_loop)] // `j` indexes pc and per_stage together
+        for j in 0..c {
+            while pc[j] < plan.per_stage[j].len() {
+                match plan.per_stage[j][pc[j]] {
+                    Instr::ForwardPass { .. } | Instr::BackwardPass { .. } => {
+                        pc[j] += 1;
+                        progressed = true;
+                    }
+                    Instr::CommStart {
+                        kind,
+                        peer,
+                        bytes,
+                        tag,
+                        ..
+                    } => {
+                        let peer = peer as usize;
+                        let pair = (j.min(peer), j.max(peer));
+                        let ch = channels.entry(pair).or_default();
+                        let posted = Posted {
+                            device: j,
+                            send: kind.is_send(),
+                            tag,
+                            bytes,
+                        };
+                        if j == pair.0 {
+                            ch.0.push_back(posted);
+                        } else {
+                            ch.1.push_back(posted);
+                        }
+                        try_match(pair, ch, &mut completed)?;
+                        pc[j] += 1;
+                        progressed = true;
+                    }
+                    Instr::CommWait { tag, .. } => {
+                        if completed.contains(&tag) {
+                            pc[j] += 1;
+                            progressed = true;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if pc
+            .iter()
+            .enumerate()
+            .all(|(j, &p)| p == plan.per_stage[j].len())
+        {
+            return Ok(());
+        }
+        if !progressed {
+            let stuck: Vec<(usize, usize)> = pc
+                .iter()
+                .enumerate()
+                .filter(|&(j, &p)| p < plan.per_stage[j].len())
+                .map(|(j, &p)| (j, p))
+                .collect();
+            return Err(VerifyError::Stall { stuck });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::CommKind;
+    use dynapipe_model::memory::RecomputeMode;
+    use dynapipe_model::MicroBatchShape;
+
+    fn plan(per_stage: Vec<Vec<Instr>>, m: usize) -> ExecutionPlan {
+        ExecutionPlan {
+            per_stage,
+            shapes: vec![MicroBatchShape::gpt(1, 8); m],
+            recompute: RecomputeMode::None,
+        }
+    }
+
+    #[test]
+    fn matched_pair_passes() {
+        let p = plan(
+            vec![
+                vec![
+                    Instr::ForwardPass { mb: 0 },
+                    Instr::CommStart {
+                        kind: CommKind::SendAct,
+                        mb: 0,
+                        peer: 1,
+                        bytes: 8,
+                        tag: 0,
+                    },
+                    Instr::BackwardPass { mb: 0 },
+                ],
+                vec![
+                    Instr::CommStart {
+                        kind: CommKind::RecvAct,
+                        mb: 0,
+                        peer: 0,
+                        bytes: 8,
+                        tag: 0,
+                    },
+                    Instr::CommWait {
+                        kind: CommKind::RecvAct,
+                        mb: 0,
+                        tag: 0,
+                    },
+                    Instr::ForwardPass { mb: 0 },
+                    Instr::BackwardPass { mb: 0 },
+                ],
+            ],
+            1,
+        );
+        verify_deadlock_free(&p).unwrap();
+    }
+
+    #[test]
+    fn send_send_heads_detected() {
+        let p = plan(
+            vec![
+                vec![Instr::CommStart {
+                    kind: CommKind::SendAct,
+                    mb: 0,
+                    peer: 1,
+                    bytes: 8,
+                    tag: 0,
+                }],
+                vec![Instr::CommStart {
+                    kind: CommKind::SendGrad,
+                    mb: 0,
+                    peer: 0,
+                    bytes: 8,
+                    tag: 1,
+                }],
+            ],
+            0,
+        );
+        let err = verify_deadlock_free(&p).unwrap_err();
+        assert!(matches!(err, VerifyError::OrderMismatch { .. }));
+    }
+
+    #[test]
+    fn wait_without_peer_stalls() {
+        let p = plan(
+            vec![
+                vec![
+                    Instr::CommStart {
+                        kind: CommKind::RecvAct,
+                        mb: 0,
+                        peer: 1,
+                        bytes: 8,
+                        tag: 0,
+                    },
+                    Instr::CommWait {
+                        kind: CommKind::RecvAct,
+                        mb: 0,
+                        tag: 0,
+                    },
+                ],
+                vec![],
+            ],
+            0,
+        );
+        let err = verify_deadlock_free(&p).unwrap_err();
+        match err {
+            VerifyError::Stall { stuck } => assert_eq!(stuck, vec![(0, 1)]),
+            other => panic!("expected stall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tag_mismatch_detected() {
+        let p = plan(
+            vec![
+                vec![Instr::CommStart {
+                    kind: CommKind::SendAct,
+                    mb: 0,
+                    peer: 1,
+                    bytes: 8,
+                    tag: 0,
+                }],
+                vec![Instr::CommStart {
+                    kind: CommKind::RecvAct,
+                    mb: 1,
+                    peer: 0,
+                    bytes: 8,
+                    tag: 2,
+                }],
+            ],
+            0,
+        );
+        let err = verify_deadlock_free(&p).unwrap_err();
+        assert!(matches!(err, VerifyError::OrderMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_plan_passes() {
+        verify_deadlock_free(&plan(vec![vec![], vec![]], 0)).unwrap();
+    }
+}

@@ -1,0 +1,409 @@
+//! The training-run driver: plan each mini-batch, execute it on the
+//! discrete-event simulator, and collect the paper's metrics.
+
+use crate::compile::compile_replica;
+use crate::planner::{IterationPlan, PlanError};
+use dynapipe_batcher::PaddingStats;
+use dynapipe_cost::CostModel;
+use dynapipe_data::{Dataset, GlobalBatchConfig, GlobalBatchIter, Sample};
+use dynapipe_model::{Bytes, Micros};
+use dynapipe_sim::{AllocatorMode, Engine, EngineConfig, JitterConfig};
+use serde::{Deserialize, Serialize};
+
+/// Anything that can plan a training iteration (DynaPipe or a baseline).
+pub trait IterationPlanner: Sync {
+    /// Plan one mini-batch.
+    fn plan(&self, minibatch: &[Sample]) -> Result<IterationPlan, PlanError>;
+    /// The cost model backing the planner.
+    fn cost_model(&self) -> &CostModel;
+    /// Short label for reports.
+    fn label(&self) -> String;
+}
+
+impl IterationPlanner for crate::planner::DynaPipePlanner {
+    fn plan(&self, minibatch: &[Sample]) -> Result<IterationPlan, PlanError> {
+        self.plan_iteration(minibatch)
+    }
+    fn cost_model(&self) -> &CostModel {
+        &self.cm
+    }
+    fn label(&self) -> String {
+        "DynaPipe".to_string()
+    }
+}
+
+impl IterationPlanner for crate::baseline::BaselinePlanner {
+    fn plan(&self, minibatch: &[Sample]) -> Result<IterationPlan, PlanError> {
+        self.plan_iteration(minibatch)
+    }
+    fn cost_model(&self) -> &CostModel {
+        &self.cm
+    }
+    fn label(&self) -> String {
+        format!("{:?}", self.kind)
+    }
+}
+
+/// Run configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Cap on iterations (None runs the full epoch).
+    pub max_iterations: Option<usize>,
+    /// Compute-duration jitter injected by the simulator.
+    pub jitter: Option<JitterConfig>,
+    /// Allocator behaviour (§7 ablation).
+    pub allocator: AllocatorMode,
+    /// Record full traces (memory-heavy; for visualization runs only).
+    pub record_trace: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            max_iterations: Some(20),
+            jitter: Some(JitterConfig {
+                sigma: 0.05,
+                seed: 0xD17A,
+            }),
+            allocator: AllocatorMode::PreAllocatedPool,
+            record_trace: false,
+        }
+    }
+}
+
+/// Per-iteration measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// Planner-estimated iteration time (µs).
+    pub est_time: Micros,
+    /// Simulator-measured iteration time (µs).
+    pub measured_time: Micros,
+    /// Planner-estimated peak activation per stage (worst replica).
+    pub est_peak: Vec<Bytes>,
+    /// Measured peak activation per stage (worst replica).
+    pub measured_peak: Vec<Bytes>,
+    /// Wall-clock planning time (µs).
+    pub planning_time_us: f64,
+    /// Non-padding tokens in the mini-batch.
+    pub actual_tokens: u64,
+    /// Micro-batches across replicas.
+    pub num_micro_batches: usize,
+    /// Recomputation mode chosen.
+    pub recompute: String,
+    /// Total allocator stall time across devices (µs).
+    pub allocator_stall_us: Micros,
+}
+
+/// A completed (or failed) training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Planner label.
+    pub planner: String,
+    /// Per-iteration records.
+    pub records: Vec<IterationRecord>,
+    /// Total non-padding tokens processed.
+    pub total_tokens: u64,
+    /// Total simulated time (µs).
+    pub total_time_us: Micros,
+    /// Aggregate padding statistics.
+    pub padding: PaddingStats,
+    /// Why the run stopped early, if it did (OOM / infeasible plan).
+    pub failure: Option<String>,
+}
+
+impl RunReport {
+    /// Training throughput in non-padding tokens per second — the paper's
+    /// headline metric.
+    pub fn throughput(&self) -> f64 {
+        if self.total_time_us <= 0.0 {
+            return 0.0;
+        }
+        self.total_tokens as f64 / (self.total_time_us / 1e6)
+    }
+
+    /// Whether the configuration completed without OOM/infeasibility.
+    pub fn feasible(&self) -> bool {
+        self.failure.is_none()
+    }
+
+    /// Mean absolute percentage error of iteration-time estimates
+    /// (Fig. 18a's metric).
+    pub fn time_mape(&self) -> f64 {
+        mape(self.records.iter().map(|r| (r.est_time, r.measured_time)))
+    }
+
+    /// Mean absolute percentage error of peak-memory estimates (Fig. 18b).
+    pub fn memory_mape(&self) -> f64 {
+        mape(self.records.iter().flat_map(|r| {
+            r.est_peak
+                .iter()
+                .zip(&r.measured_peak)
+                .map(|(&e, &m)| (e as f64, m as f64))
+        }))
+    }
+}
+
+fn mape(pairs: impl Iterator<Item = (f64, f64)>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (est, meas) in pairs {
+        if meas > 0.0 {
+            sum += (est - meas).abs() / meas;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Execute one planned iteration on the simulator; returns the measured
+/// iteration time, per-stage peak memory (worst replica) and allocator
+/// stall, or the simulator error string.
+pub fn simulate_iteration(
+    cm: &CostModel,
+    plan: &IterationPlan,
+    run: &RunConfig,
+    iteration_index: usize,
+) -> Result<(Micros, Vec<Bytes>, Micros), String> {
+    let c = cm.num_stages();
+    let mut worst_makespan: Micros = 0.0;
+    let mut worst_peak = vec![0u64; c];
+    let mut stall_total: Micros = 0.0;
+    // Pipeline stages sit `tp` ranks apart, so stages-per-node shrinks by
+    // the tensor-parallel degree.
+    let mut hw = cm.hw.clone();
+    hw.gpus_per_node = (hw.gpus_per_node / cm.parallel.tp).max(1);
+    for (ri, replica) in plan.replicas.iter().enumerate() {
+        let programs = compile_replica(cm, &replica.plan);
+        let config = EngineConfig {
+            hardware: hw.clone(),
+            memory_limits: (0..c).map(|j| cm.activation_budget(j)).collect(),
+            allocator_mode: run.allocator,
+            jitter: run.jitter.map(|j| JitterConfig {
+                sigma: j.sigma,
+                seed: j.seed ^ (iteration_index as u64) << 8 ^ ri as u64,
+            }),
+            comm_post_overhead: 2.0,
+            record_trace: run.record_trace,
+        };
+        let result = Engine::new(config, programs)
+            .run()
+            .map_err(|e| e.to_string())?;
+        worst_makespan = worst_makespan.max(result.makespan);
+        for (j, &p) in result.peak_memory.iter().enumerate() {
+            worst_peak[j] = worst_peak[j].max(p);
+        }
+        stall_total += result
+            .allocator_stats
+            .iter()
+            .map(|s| s.stall_us)
+            .sum::<Micros>();
+    }
+    Ok((worst_makespan + plan.dp_sync_time, worst_peak, stall_total))
+}
+
+/// Run (a prefix of) one training epoch.
+pub fn run_training(
+    planner: &dyn IterationPlanner,
+    dataset: &Dataset,
+    gbs: GlobalBatchConfig,
+    run: RunConfig,
+) -> RunReport {
+    let cm = planner.cost_model();
+    let mut report = RunReport {
+        planner: planner.label(),
+        records: Vec::new(),
+        total_tokens: 0,
+        total_time_us: 0.0,
+        padding: PaddingStats::default(),
+        failure: None,
+    };
+    for (it, minibatch) in GlobalBatchIter::new(dataset, gbs).enumerate() {
+        if let Some(cap) = run.max_iterations {
+            if it >= cap {
+                break;
+            }
+        }
+        let plan = match planner.plan(&minibatch) {
+            Ok(p) => p,
+            Err(e) => {
+                report.failure = Some(format!("iteration {it}: {e}"));
+                break;
+            }
+        };
+        let (measured, peaks, stall) = match simulate_iteration(cm, &plan, &run, it) {
+            Ok(x) => x,
+            Err(e) => {
+                report.failure = Some(format!("iteration {it}: {e}"));
+                break;
+            }
+        };
+        let est_peak: Vec<Bytes> = {
+            let c = cm.num_stages();
+            (0..c)
+                .map(|j| {
+                    plan.replicas
+                        .iter()
+                        .map(|r| r.est_peak_memory.get(j).copied().unwrap_or(0))
+                        .max()
+                        .unwrap_or(0)
+                })
+                .collect()
+        };
+        report.total_tokens += plan.actual_tokens;
+        report.total_time_us += measured;
+        accumulate_padding(&mut report.padding, &plan.padding);
+        report.records.push(IterationRecord {
+            est_time: plan.est_iteration_time,
+            measured_time: measured,
+            est_peak,
+            measured_peak: peaks,
+            planning_time_us: plan.planning_time_us,
+            actual_tokens: plan.actual_tokens,
+            num_micro_batches: plan.num_micro_batches,
+            recompute: plan.recompute.label().to_string(),
+            allocator_stall_us: stall,
+        });
+    }
+    report
+}
+
+fn accumulate_padding(into: &mut PaddingStats, from: &PaddingStats) {
+    into.actual_tokens += from.actual_tokens;
+    into.padded_tokens += from.padded_tokens;
+    into.enc_actual += from.enc_actual;
+    into.enc_padded += from.enc_padded;
+    into.dec_actual += from.dec_actual;
+    into.dec_padded += from.dec_padded;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{BaselineKind, BaselinePlanner};
+    use crate::planner::{DynaPipePlanner, PlannerConfig};
+    use dynapipe_cost::ProfileOptions;
+    use dynapipe_model::{HardwareModel, ModelConfig, ParallelConfig};
+    use std::sync::Arc;
+
+    fn cost_model(pp: usize, dp: usize) -> Arc<CostModel> {
+        Arc::new(CostModel::build(
+            HardwareModel::a100_cluster(),
+            ModelConfig::gpt_3_35b(),
+            ParallelConfig::new(dp, 1, pp),
+            &ProfileOptions::coarse(),
+        ))
+    }
+
+    fn small_run() -> RunConfig {
+        RunConfig {
+            max_iterations: Some(3),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn dynapipe_run_produces_throughput() {
+        let planner = DynaPipePlanner::new(cost_model(2, 1), PlannerConfig::default());
+        let dataset = Dataset::flanv2(31, 400);
+        let report = run_training(
+            &planner,
+            &dataset,
+            GlobalBatchConfig {
+                tokens_per_batch: 16384,
+                max_seq_len: 2048,
+            },
+            small_run(),
+        );
+        assert!(report.feasible(), "failure: {:?}", report.failure);
+        assert_eq!(report.records.len(), 3);
+        assert!(
+            report.throughput() > 100.0,
+            "throughput {}",
+            report.throughput()
+        );
+    }
+
+    #[test]
+    fn estimates_track_measurements() {
+        let planner = DynaPipePlanner::new(cost_model(2, 1), PlannerConfig::default());
+        let dataset = Dataset::flanv2(37, 400);
+        let report = run_training(
+            &planner,
+            &dataset,
+            GlobalBatchConfig {
+                tokens_per_batch: 16384,
+                max_seq_len: 2048,
+            },
+            small_run(),
+        );
+        // Fig. 18: mean error around 4–11% for time, ≤6% for memory; allow
+        // slack but catch gross modelling bugs.
+        assert!(
+            report.time_mape() < 0.35,
+            "time MAPE {}",
+            report.time_mape()
+        );
+        assert!(
+            report.memory_mape() < 0.25,
+            "memory MAPE {}",
+            report.memory_mape()
+        );
+    }
+
+    #[test]
+    fn baseline_run_works_and_is_slower() {
+        let cm = cost_model(2, 1);
+        let dataset = Dataset::flanv2(41, 600);
+        let gbs = GlobalBatchConfig {
+            tokens_per_batch: 16384,
+            max_seq_len: 2048,
+        };
+        let dyna = run_training(
+            &DynaPipePlanner::new(cm.clone(), PlannerConfig::default()),
+            &dataset,
+            gbs,
+            small_run(),
+        );
+        let packing = run_training(
+            &BaselinePlanner::new(
+                cm,
+                BaselineKind::Packing {
+                    max_seq_len: 2048,
+                    max_target_len: 256,
+                    mb_size: 1,
+                },
+            ),
+            &dataset,
+            gbs,
+            small_run(),
+        );
+        assert!(dyna.feasible() && packing.feasible());
+        assert!(
+            dyna.throughput() > packing.throughput(),
+            "DynaPipe {} vs packing {}",
+            dyna.throughput(),
+            packing.throughput()
+        );
+    }
+
+    #[test]
+    fn data_parallel_run_is_feasible() {
+        let planner = DynaPipePlanner::new(cost_model(2, 2), PlannerConfig::default());
+        let dataset = Dataset::flanv2(43, 500);
+        let report = run_training(
+            &planner,
+            &dataset,
+            GlobalBatchConfig {
+                tokens_per_batch: 32768,
+                max_seq_len: 2048,
+            },
+            small_run(),
+        );
+        assert!(report.feasible(), "failure: {:?}", report.failure);
+        assert!(report.records.iter().all(|r| r.measured_time > 0.0));
+    }
+}

@@ -1,0 +1,159 @@
+//! 3D-parallelism grid search (§8 "Baselines").
+//!
+//! The paper grid-searches power-of-two (dp, tp, pp) combinations (tp
+//! intra-node) for every system and reports the best. Scoring a candidate
+//! plans a few sample mini-batches and then *simulates* them briefly: the
+//! planner's timeline estimate models communication as pure dependency
+//! delay, but deep comm-bound pipelines additionally serialize transfers on
+//! each device-pair channel — only the simulator sees that, and ranking by
+//! estimate alone would over-sell deep pipeline parallelism for
+//! short-sequence T5 workloads.
+
+use crate::driver::{simulate_iteration, RunConfig};
+use crate::planner::{DynaPipePlanner, PlannerConfig};
+use dynapipe_cost::{CostModel, ProfileOptions};
+use dynapipe_data::Sample;
+use dynapipe_model::{HardwareModel, ModelConfig, ParallelConfig};
+use dynapipe_sim::AllocatorMode;
+use std::sync::Arc;
+
+/// Score of one parallelism candidate.
+#[derive(Debug, Clone)]
+pub struct CandidateScore {
+    /// The candidate configuration.
+    pub parallel: ParallelConfig,
+    /// Estimated throughput (tokens/s) over the probe mini-batches.
+    pub est_throughput: f64,
+    /// The cost model built for the candidate (reusable for the real run).
+    pub cost_model: Arc<CostModel>,
+}
+
+/// Evaluate every feasible (dp, tp, pp) combination for `num_gpus` GPUs and
+/// return candidates sorted by descending estimated throughput.
+///
+/// `probe_minibatches` should be a handful of representative mini-batches;
+/// infeasible candidates (static state over budget, or no feasible plan)
+/// are dropped.
+pub fn search_parallelism(
+    hw: &HardwareModel,
+    model: &ModelConfig,
+    num_gpus: usize,
+    probe_minibatches: &[Vec<Sample>],
+    planner_config: PlannerConfig,
+    profile_opts: &ProfileOptions,
+) -> Vec<CandidateScore> {
+    let mut out = Vec::new();
+    for parallel in ParallelConfig::enumerate(num_gpus, hw.gpus_per_node) {
+        if !parallel.fits_model(model) {
+            continue;
+        }
+        let cm = Arc::new(CostModel::build(hw.clone(), *model, parallel, profile_opts));
+        if !cm.is_feasible() {
+            continue;
+        }
+        let planner = DynaPipePlanner::new(cm.clone(), planner_config);
+        let probe_run = RunConfig {
+            max_iterations: None,
+            jitter: None,
+            allocator: AllocatorMode::PreAllocatedPool,
+            record_trace: false,
+        };
+        let mut tokens = 0u64;
+        let mut time_us = 0.0f64;
+        let mut ok = true;
+        for (i, mb) in probe_minibatches.iter().enumerate() {
+            let plan = match planner.plan_iteration(mb) {
+                Ok(p) => p,
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            };
+            match simulate_iteration(&cm, &plan, &probe_run, i) {
+                Ok((measured, _, _)) => {
+                    tokens += plan.actual_tokens;
+                    time_us += measured;
+                }
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok || time_us <= 0.0 {
+            continue;
+        }
+        out.push(CandidateScore {
+            parallel,
+            est_throughput: tokens as f64 / (time_us / 1e6),
+            cost_model: cm,
+        });
+    }
+    out.sort_by(|a, b| b.est_throughput.total_cmp(&a.est_throughput));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynapipe_data::{Dataset, GlobalBatchConfig, GlobalBatchIter};
+
+    fn probes(n: usize, msl: usize) -> Vec<Vec<Sample>> {
+        let d = Dataset::flanv2(61, 800);
+        GlobalBatchIter::new(
+            &d,
+            GlobalBatchConfig {
+                tokens_per_batch: 16384,
+                max_seq_len: msl,
+            },
+        )
+        .take(n)
+        .collect()
+    }
+
+    #[test]
+    fn search_returns_ranked_feasible_candidates() {
+        let hw = HardwareModel::a100_cluster();
+        let model = ModelConfig::gpt_3_35b();
+        let scores = search_parallelism(
+            &hw,
+            &model,
+            4,
+            &probes(2, 2048),
+            PlannerConfig::default(),
+            &ProfileOptions::coarse(),
+        );
+        assert!(
+            !scores.is_empty(),
+            "4-GPU GPT-3.35B must have feasible configs"
+        );
+        for s in &scores {
+            assert_eq!(s.parallel.num_gpus(), 4);
+            assert!(s.est_throughput > 0.0);
+        }
+        assert!(scores
+            .windows(2)
+            .all(|w| w[0].est_throughput >= w[1].est_throughput));
+    }
+
+    #[test]
+    fn infeasible_models_are_dropped() {
+        // GPT-29B on 4 GPUs cannot hold its optimizer states: most (often
+        // all) candidates should be infeasible.
+        let hw = HardwareModel::a100_cluster();
+        let model = ModelConfig::gpt_29b();
+        let all = ParallelConfig::enumerate(4, hw.gpus_per_node).len();
+        let scores = search_parallelism(
+            &hw,
+            &model,
+            4,
+            &probes(1, 1024),
+            PlannerConfig::default(),
+            &ProfileOptions::coarse(),
+        );
+        assert!(
+            scores.len() < all,
+            "29B params cannot fit every 4-GPU layout"
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! DynaPipe's planner–executor core: per-iteration plan generation,
+//! compilation onto the cluster simulator, and training-run orchestration.
+//!
+//! This crate ties the reproduction together, mirroring the system
+//! architecture of §3 (Fig. 9):
+//!
+//! * [`planner`] — the per-iteration planning pipeline: order samples,
+//!   choose the cheapest feasible recomputation mode (§7), split the
+//!   mini-batch with the DP partitioner (§4), balance replicas with
+//!   Karmarkar–Karp, reorder and schedule micro-batches (§5), and plan
+//!   communication (§6). Every plan is verified deadlock-free before it is
+//!   released.
+//! * [`baseline`] — the paper's comparison systems on the same substrate:
+//!   packing (MLM+DS), token-based and fixed-size micro-batching, all under
+//!   1F1B.
+//! * [`compile`] — lower an [`dynapipe_comm::ExecutionPlan`] to per-device
+//!   simulator programs.
+//! * [`driver`] — run training iterations against the discrete-event
+//!   simulator, collecting throughput, padding and estimate-vs-measured
+//!   records (the raw data behind Figs. 13–18).
+//! * [`store`] — the distributed-instruction-store stand-in: a sharded
+//!   in-process map with the same push/fetch decoupling.
+//! * [`parallel`] — plan generation across worker threads (§8.5's
+//!   planning/executing overlap).
+//! * [`gridsearch`] — the paper's 3D-parallelism grid search.
+
+pub mod baseline;
+pub mod compile;
+pub mod driver;
+pub mod gridsearch;
+pub mod parallel;
+pub mod planner;
+pub mod store;
+
+pub use baseline::{BaselineKind, BaselinePlanner};
+pub use compile::compile_replica;
+pub use driver::{run_training, IterationPlanner, IterationRecord, RunConfig, RunReport};
+pub use gridsearch::{search_parallelism, CandidateScore};
+pub use planner::{
+    DynaPipePlanner, IterationPlan, PlanError, PlannerConfig, ReplicaPlan, ScheduleKind,
+};
+pub use store::InstructionStore;

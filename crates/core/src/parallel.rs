@@ -1,0 +1,166 @@
+//! Parallel execution-plan generation (§3, §8.5).
+//!
+//! Plan generation is CPU work that the paper overlaps with GPU execution
+//! by parallelizing across cores (and machines). Here a worker pool
+//! consumes mini-batches from a channel and pushes compiled plans into the
+//! instruction store; the returned statistics are the data behind Fig. 17's
+//! "planning fully overlaps with execution given ~13 cores" argument.
+
+use crate::planner::{DynaPipePlanner, PlanError};
+use crate::store::InstructionStore;
+use dynapipe_data::Sample;
+use dynapipe_model::Micros;
+use std::sync::Arc;
+
+/// Outcome of a parallel planning session.
+#[derive(Debug, Clone)]
+pub struct ParallelPlanStats {
+    /// Wall-clock time of the whole session (µs).
+    pub wall_us: Micros,
+    /// Per-iteration single-thread planning times (µs).
+    pub per_plan_us: Vec<Micros>,
+    /// Iterations that failed to plan.
+    pub failures: Vec<(usize, PlanError)>,
+}
+
+impl ParallelPlanStats {
+    /// Sum of single-thread planning times (µs).
+    pub fn total_cpu_us(&self) -> Micros {
+        self.per_plan_us.iter().sum()
+    }
+
+    /// Effective speed-up from parallelization.
+    pub fn speedup(&self) -> f64 {
+        if self.wall_us <= 0.0 {
+            return 1.0;
+        }
+        self.total_cpu_us() / self.wall_us
+    }
+}
+
+/// Plan all `minibatches` on `workers` threads, pushing results into
+/// `store` keyed by iteration index.
+pub fn generate_plans_parallel(
+    planner: Arc<DynaPipePlanner>,
+    minibatches: &[Vec<Sample>],
+    workers: usize,
+    store: &InstructionStore,
+) -> ParallelPlanStats {
+    let workers = workers.max(1);
+    let t0 = std::time::Instant::now();
+    let (tx, rx) = crossbeam_channel::unbounded::<(usize, Vec<Sample>)>();
+    for (i, mb) in minibatches.iter().enumerate() {
+        tx.send((i, mb.clone())).expect("channel open");
+    }
+    drop(tx);
+    let (res_tx, res_rx) =
+        crossbeam_channel::unbounded::<(usize, Result<(Micros,), (usize, PlanError)>)>();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let rx = rx.clone();
+            let res_tx = res_tx.clone();
+            let planner = planner.clone();
+            let store_ref = &store;
+            s.spawn(move || {
+                while let Ok((i, mb)) = rx.recv() {
+                    match planner.plan_iteration(&mb) {
+                        Ok(plan) => {
+                            let t = plan.planning_time_us;
+                            store_ref.push(i, plan);
+                            let _ = res_tx.send((i, Ok((t,))));
+                        }
+                        Err(e) => {
+                            let _ = res_tx.send((i, Err((i, e))));
+                        }
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+    });
+    let mut per_plan_us = Vec::new();
+    let mut failures = Vec::new();
+    while let Ok((_, r)) = res_rx.recv() {
+        match r {
+            Ok((t,)) => per_plan_us.push(t),
+            Err(f) => failures.push(f),
+        }
+    }
+    ParallelPlanStats {
+        wall_us: t0.elapsed().as_secs_f64() * 1e6,
+        per_plan_us,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::PlannerConfig;
+    use dynapipe_cost::{CostModel, ProfileOptions};
+    use dynapipe_data::{Dataset, GlobalBatchConfig, GlobalBatchIter};
+    use dynapipe_model::{HardwareModel, ModelConfig, ParallelConfig};
+
+    fn planner() -> Arc<DynaPipePlanner> {
+        let cm = Arc::new(CostModel::build(
+            HardwareModel::a100_cluster(),
+            ModelConfig::gpt_3_35b(),
+            ParallelConfig::new(1, 1, 4),
+            &ProfileOptions::coarse(),
+        ));
+        Arc::new(DynaPipePlanner::new(cm, PlannerConfig::default()))
+    }
+
+    fn minibatches(n: usize) -> Vec<Vec<Sample>> {
+        let d = Dataset::flanv2(51, 1200);
+        GlobalBatchIter::new(
+            &d,
+            GlobalBatchConfig {
+                tokens_per_batch: 16384,
+                max_seq_len: 2048,
+            },
+        )
+        .take(n)
+        .collect()
+    }
+
+    #[test]
+    fn all_plans_land_in_store() {
+        let store = InstructionStore::new();
+        let stats = generate_plans_parallel(planner(), &minibatches(6), 3, &store);
+        assert!(stats.failures.is_empty());
+        assert_eq!(store.len(), 6);
+        assert_eq!(stats.per_plan_us.len(), 6);
+        for i in 0..6 {
+            assert!(store.fetch(i).is_some(), "plan {i} missing");
+        }
+    }
+
+    #[test]
+    fn multi_worker_planning_is_correct_and_accounted() {
+        // Wall-clock speed-up depends on available cores (CI machines may
+        // have one), so assert correctness and accounting rather than a
+        // timing ratio: all plans complete under concurrency, every
+        // single-thread planning time is recorded, and the speed-up metric
+        // is well-defined.
+        let p = planner();
+        let mbs = minibatches(8);
+        let store1 = InstructionStore::new();
+        let s1 = generate_plans_parallel(p.clone(), &mbs, 1, &store1);
+        let store4 = InstructionStore::new();
+        let s4 = generate_plans_parallel(p, &mbs, 4, &store4);
+        assert_eq!(store1.len(), 8);
+        assert_eq!(store4.len(), 8);
+        assert_eq!(s1.per_plan_us.len(), 8);
+        assert_eq!(s4.per_plan_us.len(), 8);
+        assert!(s1.wall_us > 0.0 && s4.wall_us > 0.0);
+        assert!(s4.speedup() > 0.0);
+        // Same inputs: per-plan times should be in the same ballpark. The
+        // bound is loose because per-plan "CPU" time is measured as wall
+        // time inside the worker, which oversubscription inflates — with 4
+        // workers time-sliced on a single core each plan can appear up to
+        // ~4x slower (plus scheduler noise).
+        let ratio = s4.total_cpu_us() / s1.total_cpu_us();
+        assert!((0.1..12.0).contains(&ratio), "cpu ratio {ratio}");
+    }
+}

@@ -1,0 +1,137 @@
+//! The distributed instruction store (Fig. 9), as an in-process stand-in.
+//!
+//! The paper uses Redis on one machine's host memory: planners push
+//! compiled execution plans keyed by iteration, executors fetch and delete
+//! them. The property that matters — planners and executors decoupled
+//! through a keyed store, plans prefetched ahead of execution — is kept;
+//! the transport is replaced by a sharded in-process map.
+
+use crate::planner::IterationPlan;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const NUM_SHARDS: usize = 16;
+
+/// Key identifying a stored plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Training iteration index.
+    pub iteration: usize,
+}
+
+/// Sharded, thread-safe plan store.
+pub struct InstructionStore {
+    shards: Vec<RwLock<HashMap<PlanKey, Arc<IterationPlan>>>>,
+}
+
+impl Default for InstructionStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InstructionStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        InstructionStore {
+            shards: (0..NUM_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &PlanKey) -> &RwLock<HashMap<PlanKey, Arc<IterationPlan>>> {
+        &self.shards[key.iteration % NUM_SHARDS]
+    }
+
+    /// Push a compiled plan (planner side).
+    pub fn push(&self, iteration: usize, plan: IterationPlan) {
+        let key = PlanKey { iteration };
+        self.shard(&key).write().insert(key, Arc::new(plan));
+    }
+
+    /// Fetch a plan without removing it (executor prefetch).
+    pub fn fetch(&self, iteration: usize) -> Option<Arc<IterationPlan>> {
+        let key = PlanKey { iteration };
+        self.shard(&key).read().get(&key).cloned()
+    }
+
+    /// Fetch and remove a plan (executor consumption).
+    pub fn take(&self, iteration: usize) -> Option<Arc<IterationPlan>> {
+        let key = PlanKey { iteration };
+        self.shard(&key).write().remove(&key)
+    }
+
+    /// Number of plans currently stored.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynapipe_batcher::PaddingStats;
+    use dynapipe_model::memory::RecomputeMode;
+
+    fn dummy_plan() -> IterationPlan {
+        IterationPlan {
+            replicas: vec![],
+            recompute: RecomputeMode::None,
+            est_iteration_time: 1.0,
+            dp_sync_time: 0.0,
+            padding: PaddingStats::default(),
+            num_micro_batches: 0,
+            actual_tokens: 0,
+            planning_time_us: 0.0,
+        }
+    }
+
+    #[test]
+    fn push_fetch_take_roundtrip() {
+        let store = InstructionStore::new();
+        assert!(store.is_empty());
+        store.push(3, dummy_plan());
+        store.push(4, dummy_plan());
+        assert_eq!(store.len(), 2);
+        assert!(store.fetch(3).is_some());
+        assert_eq!(store.len(), 2, "fetch does not consume");
+        assert!(store.take(3).is_some());
+        assert_eq!(store.len(), 1);
+        assert!(store.take(3).is_none());
+        assert!(store.fetch(99).is_none());
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers() {
+        let store = Arc::new(InstructionStore::new());
+        std::thread::scope(|s| {
+            for w in 0..4usize {
+                let st = store.clone();
+                s.spawn(move || {
+                    for i in (w..100).step_by(4) {
+                        st.push(i, dummy_plan());
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 100);
+        std::thread::scope(|s| {
+            for w in 0..4usize {
+                let st = store.clone();
+                s.spawn(move || {
+                    for i in (w..100).step_by(4) {
+                        assert!(st.take(i).is_some());
+                    }
+                });
+            }
+        });
+        assert!(store.is_empty());
+    }
+}

@@ -1,0 +1,346 @@
+//! The planner-facing cost model: per-stage and per-micro-batch estimates.
+//!
+//! Composes interpolated per-layer profiles into the quantities DynaPipe's
+//! planners consume: forward/backward time of each pipeline stage for a
+//! micro-batch shape, the micro-batch execution time `t(M) = t_f(M) + t_b(M)`
+//! of Eq. 1 (taken on the bottleneck stage), activation memory per stage,
+//! and the per-stage activation budget left after static model state.
+
+use crate::profile::{ProfileDb, ProfileOptions};
+use dynapipe_model::config::{ModelArch, ModelConfig};
+use dynapipe_model::hardware::{HardwareModel, LayerKind};
+use dynapipe_model::memory::{MemoryModel, RecomputeMode};
+use dynapipe_model::parallel::{ParallelConfig, StageLayout};
+use dynapipe_model::shapes::{MicroBatchShape, ACT_DTYPE_BYTES};
+use dynapipe_model::{Bytes, Micros};
+use serde::{Deserialize, Serialize};
+
+/// Cost model for one (model, parallelism) deployment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostModel {
+    /// The deployed model.
+    pub model: ModelConfig,
+    /// Pipeline stage layout.
+    pub layout: StageLayout,
+    /// Parallelism configuration.
+    pub parallel: ParallelConfig,
+    /// Hardware description (for communication terms and memory capacity).
+    pub hw: HardwareModel,
+    /// Memory formulas.
+    pub mem: MemoryModel,
+    db: ProfileDb,
+    static_bytes: Vec<Bytes>,
+    /// Representative stage indices, one per distinct stage signature
+    /// (layer mix / embedding / LM head) — max-over-stages queries only
+    /// need to visit these.
+    distinct_stages: Vec<usize>,
+}
+
+impl CostModel {
+    /// Profile and assemble a cost model.
+    pub fn build(
+        hw: HardwareModel,
+        model: ModelConfig,
+        parallel: ParallelConfig,
+        opts: &ProfileOptions,
+    ) -> Self {
+        let layout = StageLayout::new(&model, parallel.pp);
+        let mem = MemoryModel::default();
+        let db = ProfileDb::profile(&hw, &mem, &model, parallel.tp, opts);
+        let static_bytes = layout
+            .stages
+            .iter()
+            .map(|st| mem.static_stage_bytes(&model, st, parallel.tp, parallel.dp))
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        let distinct_stages = layout
+            .stages
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| seen.insert(**st))
+            .map(|(i, _)| i)
+            .collect();
+        CostModel {
+            model,
+            layout,
+            parallel,
+            hw,
+            mem,
+            db,
+            static_bytes,
+            distinct_stages,
+        }
+    }
+
+    /// Number of pipeline stages.
+    pub fn num_stages(&self) -> usize {
+        self.layout.num_stages()
+    }
+
+    fn kinds(&self) -> (LayerKind, LayerKind) {
+        match self.model.arch {
+            ModelArch::Gpt => (LayerKind::GptDecoder, LayerKind::GptDecoder),
+            ModelArch::T5 => (LayerKind::T5Encoder, LayerKind::T5Decoder),
+        }
+    }
+
+    /// Estimated forward time of stage `s` for a micro-batch.
+    pub fn stage_fwd(&self, s: usize, shape: &MicroBatchShape) -> Micros {
+        if shape.batch_size == 0 {
+            return 0.0;
+        }
+        let st = self.layout.stage(s);
+        let (ek, dk) = self.kinds();
+        let mut t = 0.0;
+        if st.encoder_layers > 0 {
+            t += st.encoder_layers as f64 * self.db.layer_fwd(ek, shape);
+        }
+        if st.decoder_layers > 0 {
+            t += st.decoder_layers as f64 * self.db.layer_fwd(dk, shape);
+        }
+        if st.has_lm_head {
+            t += self.db.lm_head_fwd_time(self.target_tokens(shape));
+        }
+        t
+    }
+
+    /// Estimated backward time of stage `s`, including recomputation
+    /// overhead for the given mode.
+    pub fn stage_bwd(&self, s: usize, shape: &MicroBatchShape, mode: RecomputeMode) -> Micros {
+        if shape.batch_size == 0 {
+            return 0.0;
+        }
+        let st = self.layout.stage(s);
+        let (ek, dk) = self.kinds();
+        let mut t = 0.0;
+        if st.encoder_layers > 0 {
+            t += st.encoder_layers as f64
+                * (self.db.layer_bwd(ek, shape) + self.db.layer_recompute(ek, shape, mode));
+        }
+        if st.decoder_layers > 0 {
+            t += st.decoder_layers as f64
+                * (self.db.layer_bwd(dk, shape) + self.db.layer_recompute(dk, shape, mode));
+        }
+        if st.has_lm_head {
+            t += self.hw.backward_ratio * self.db.lm_head_fwd_time(self.target_tokens(shape));
+        }
+        t
+    }
+
+    /// Forward time on the bottleneck stage — the `t_f(M)` of Eq. 1.
+    pub fn mb_fwd(&self, shape: &MicroBatchShape) -> Micros {
+        self.distinct_stages
+            .iter()
+            .map(|&s| self.stage_fwd(s, shape))
+            .fold(0.0, f64::max)
+    }
+
+    /// Backward time on the bottleneck stage — the `t_b(M)` of Eq. 1.
+    pub fn mb_bwd(&self, shape: &MicroBatchShape, mode: RecomputeMode) -> Micros {
+        self.distinct_stages
+            .iter()
+            .map(|&s| self.stage_bwd(s, shape, mode))
+            .fold(0.0, f64::max)
+    }
+
+    /// The micro-batch execution time `t(M) = t_f(M) + t_b(M)` of Eq. 1.
+    pub fn mb_time(&self, shape: &MicroBatchShape, mode: RecomputeMode) -> Micros {
+        self.mb_fwd(shape) + self.mb_bwd(shape, mode)
+    }
+
+    /// Estimated activation bytes stage `s` holds for one in-flight
+    /// micro-batch under `mode` (stored layer activations plus the retained
+    /// stage input).
+    pub fn stage_activation(
+        &self,
+        s: usize,
+        shape: &MicroBatchShape,
+        mode: RecomputeMode,
+    ) -> Bytes {
+        if shape.batch_size == 0 {
+            return 0;
+        }
+        let st = self.layout.stage(s);
+        let (ek, dk) = self.kinds();
+        let mut b = 0.0;
+        if st.encoder_layers > 0 {
+            b += st.encoder_layers as f64 * self.db.layer_activation(ek, shape, mode);
+        }
+        if st.decoder_layers > 0 {
+            b += st.decoder_layers as f64 * self.db.layer_activation(dk, shape, mode);
+        }
+        let input = shape.padded_tokens() * self.model.hidden_dim as u64 * ACT_DTYPE_BYTES
+            / self.parallel.tp as u64;
+        b as Bytes + input
+    }
+
+    /// Worst-case (across stages) activation bytes for one micro-batch.
+    pub fn mb_activation_max(&self, shape: &MicroBatchShape, mode: RecomputeMode) -> Bytes {
+        self.distinct_stages
+            .iter()
+            .map(|&s| self.stage_activation(s, shape, mode))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Static model-state bytes on stage `s`.
+    pub fn stage_static_bytes(&self, s: usize) -> Bytes {
+        self.static_bytes[s]
+    }
+
+    /// Device memory left for activations on stage `s`, saturating at zero.
+    pub fn activation_budget(&self, s: usize) -> Bytes {
+        self.hw.device_memory.saturating_sub(self.static_bytes[s])
+    }
+
+    /// The tightest activation budget across stages.
+    pub fn min_activation_budget(&self) -> Bytes {
+        (0..self.num_stages())
+            .map(|s| self.activation_budget(s))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Whether the deployment is feasible at all (every stage's static
+    /// state fits and leaves room for at least some activation).
+    pub fn is_feasible(&self) -> bool {
+        self.min_activation_budget() > 0
+    }
+
+    /// Bytes of the activation tensor crossing the boundary after stage `s`.
+    pub fn boundary_bytes(&self, s: usize, shape: &MicroBatchShape) -> Bytes {
+        let kind = self.layout.stage(s).kind(self.model.arch);
+        shape.boundary_activation_bytes(kind, self.model.hidden_dim) / self.parallel.tp as u64
+    }
+
+    fn target_tokens(&self, shape: &MicroBatchShape) -> usize {
+        match self.model.arch {
+            ModelArch::Gpt => shape.batch_size * shape.enc_len,
+            ModelArch::T5 => shape.batch_size * shape.dec_len,
+        }
+    }
+
+    /// Access the raw profile database (for Fig. 3-style layer studies).
+    pub fn profile_db(&self) -> &ProfileDb {
+        &self.db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpt_cm(pp: usize) -> CostModel {
+        CostModel::build(
+            HardwareModel::a100_cluster(),
+            ModelConfig::gpt_6_7b(),
+            ParallelConfig::new(1, 1, pp),
+            &ProfileOptions::coarse(),
+        )
+    }
+
+    fn t5_cm(pp: usize) -> CostModel {
+        CostModel::build(
+            HardwareModel::a100_cluster(),
+            ModelConfig::t5_11b(),
+            ParallelConfig::new(1, 1, pp),
+            &ProfileOptions::coarse(),
+        )
+    }
+
+    #[test]
+    fn stage_times_positive_and_scale_with_batch() {
+        let cm = gpt_cm(4);
+        let small = MicroBatchShape::gpt(1, 512);
+        let large = MicroBatchShape::gpt(8, 512);
+        for s in 0..4 {
+            assert!(cm.stage_fwd(s, &small) > 0.0);
+            assert!(cm.stage_fwd(s, &large) > cm.stage_fwd(s, &small));
+        }
+    }
+
+    #[test]
+    fn last_stage_pays_lm_head() {
+        let cm = gpt_cm(4);
+        let shape = MicroBatchShape::gpt(4, 1024);
+        // Equal layer counts on all stages, so the LM head makes stage 3
+        // strictly slower than stage 1.
+        assert!(cm.stage_fwd(3, &shape) > cm.stage_fwd(1, &shape));
+    }
+
+    #[test]
+    fn mb_time_is_fwd_plus_bwd_of_bottleneck() {
+        let cm = gpt_cm(2);
+        let shape = MicroBatchShape::gpt(2, 2048);
+        let t = cm.mb_time(&shape, RecomputeMode::None);
+        assert!((t - (cm.mb_fwd(&shape) + cm.mb_bwd(&shape, RecomputeMode::None))).abs() < 1e-9);
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn recompute_increases_bwd_time() {
+        let cm = gpt_cm(2);
+        let shape = MicroBatchShape::gpt(4, 2048);
+        assert!(cm.mb_bwd(&shape, RecomputeMode::Full) > cm.mb_bwd(&shape, RecomputeMode::None));
+    }
+
+    #[test]
+    fn activation_budget_subtracts_static_state() {
+        let cm = gpt_cm(4);
+        for s in 0..4 {
+            assert!(cm.activation_budget(s) < cm.hw.device_memory);
+            assert!(cm.activation_budget(s) > 0, "config must be feasible");
+        }
+        assert!(cm.is_feasible());
+    }
+
+    #[test]
+    fn empty_shape_is_free() {
+        let cm = t5_cm(2);
+        let e = MicroBatchShape::empty();
+        assert_eq!(cm.mb_time(&e, RecomputeMode::None), 0.0);
+        assert_eq!(cm.mb_activation_max(&e, RecomputeMode::None), 0);
+    }
+
+    #[test]
+    fn t5_encoder_and_decoder_stages_cost_differently() {
+        let cm = t5_cm(4);
+        // Long input, short target: encoder stages dominate.
+        let enc_heavy = MicroBatchShape::t5(2, 4096, 64);
+        assert!(cm.stage_fwd(0, &enc_heavy) > cm.stage_fwd(2, &enc_heavy) * 0.5);
+        // Costs must be positive on decoder stages too.
+        assert!(cm.stage_fwd(2, &enc_heavy) > 0.0);
+    }
+
+    #[test]
+    fn boundary_bytes_shrink_with_tp() {
+        let cm1 = gpt_cm(2);
+        let cm2 = CostModel::build(
+            HardwareModel::a100_cluster(),
+            ModelConfig::gpt_6_7b(),
+            ParallelConfig::new(1, 2, 2),
+            &ProfileOptions::coarse(),
+        );
+        let shape = MicroBatchShape::gpt(4, 1024);
+        assert_eq!(
+            cm2.boundary_bytes(0, &shape),
+            cm1.boundary_bytes(0, &shape) / 2
+        );
+    }
+
+    #[test]
+    fn estimates_track_ground_truth_within_fig18_band() {
+        // Compare the interpolated stage estimate against the analytic
+        // ground truth for off-grid shapes; Fig. 18 reports ~4-11% mean
+        // error, so individual points should stay within ~30%.
+        let cm = gpt_cm(2);
+        let hw = HardwareModel::a100_cluster();
+        for (b, s) in [(3usize, 900usize), (6, 1500), (10, 300)] {
+            let shape = MicroBatchShape::gpt(b, s);
+            let est = cm.stage_fwd(0, &shape);
+            let truth = hw.stage_time_fwd(&cm.model, cm.layout.stage(0), &shape, 1);
+            let rel = (est - truth).abs() / truth;
+            assert!(rel < 0.30, "b={b} s={s} rel={rel}");
+        }
+    }
+}

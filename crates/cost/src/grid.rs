@@ -1,0 +1,230 @@
+//! Geometric sampling grids with multilinear interpolation.
+//!
+//! The paper profiles at power-of-two intervals and uses linear
+//! interpolation between sampled points (§3). [`NdGrid`] implements that
+//! for up to three axes (micro-batch size × query length × context length);
+//! 2D and 1D grids use degenerate trailing axes.
+
+use serde::{Deserialize, Serialize};
+
+/// One sampling axis: a sorted list of sampled coordinate values.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Axis {
+    /// Sampled coordinates, strictly increasing.
+    pub values: Vec<usize>,
+}
+
+impl Axis {
+    /// An axis over the given sorted values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or not strictly increasing.
+    pub fn new(values: Vec<usize>) -> Self {
+        assert!(!values.is_empty(), "axis needs at least one sample");
+        assert!(
+            values.windows(2).all(|w| w[0] < w[1]),
+            "axis values must be strictly increasing"
+        );
+        Axis { values }
+    }
+
+    /// Power-of-two axis `from, 2·from, …, to` (inclusive; both powers of 2).
+    pub fn pow2(from: usize, to: usize) -> Self {
+        assert!(from.is_power_of_two() && to.is_power_of_two() && from <= to);
+        let mut v = Vec::new();
+        let mut x = from;
+        while x <= to {
+            v.push(x);
+            x *= 2;
+        }
+        Axis::new(v)
+    }
+
+    /// A degenerate single-point axis (used to reduce dimensionality).
+    pub fn singleton() -> Self {
+        Axis::new(vec![0])
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the axis is degenerate.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Locate `x`: returns the lower bracketing index and the interpolation
+    /// fraction. Queries below the first sample clamp (fraction 0); queries
+    /// above the last sample *extrapolate linearly* along the top segment
+    /// (fraction > 1) — clamping there would silently underestimate costs
+    /// of micro-batches larger than anything profiled, which is exactly the
+    /// kind of error that turns into an OOM at run time.
+    pub fn locate(&self, x: usize) -> (usize, f64) {
+        let v = &self.values;
+        if x <= v[0] || v.len() == 1 {
+            return (0, 0.0);
+        }
+        let last = *v.last().expect("non-empty");
+        if x >= last {
+            let lo = v.len() - 2;
+            let frac = (x - v[lo]) as f64 / (v[lo + 1] - v[lo]) as f64;
+            return (lo, frac);
+        }
+        // partition_point: first index with value > x, so idx-1 brackets x.
+        let hi = v.partition_point(|&p| p <= x);
+        let lo = hi - 1;
+        let frac = (x - v[lo]) as f64 / (v[hi] - v[lo]) as f64;
+        (lo, frac)
+    }
+}
+
+/// A dense 3-axis grid of `f64` samples with multilinear interpolation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NdGrid {
+    /// First axis (e.g. micro-batch size).
+    pub a0: Axis,
+    /// Second axis (e.g. query sequence length).
+    pub a1: Axis,
+    /// Third axis (e.g. key/value sequence length); singleton when unused.
+    pub a2: Axis,
+    data: Vec<f64>,
+}
+
+impl NdGrid {
+    /// Build a grid by evaluating `f` at every sample point.
+    pub fn build(
+        a0: Axis,
+        a1: Axis,
+        a2: Axis,
+        mut f: impl FnMut(usize, usize, usize) -> f64,
+    ) -> Self {
+        let mut data = Vec::with_capacity(a0.len() * a1.len() * a2.len());
+        for &x0 in &a0.values {
+            for &x1 in &a1.values {
+                for &x2 in &a2.values {
+                    data.push(f(x0, x1, x2));
+                }
+            }
+        }
+        NdGrid { a0, a1, a2, data }
+    }
+
+    fn at(&self, i0: usize, i1: usize, i2: usize) -> f64 {
+        self.data[(i0 * self.a1.len() + i1) * self.a2.len() + i2]
+    }
+
+    /// Multilinearly interpolated value at `(x0, x1, x2)`; clamps outside
+    /// the sampled range.
+    pub fn query(&self, x0: usize, x1: usize, x2: usize) -> f64 {
+        let (i0, f0) = self.a0.locate(x0);
+        let (i1, f1) = self.a1.locate(x1);
+        let (i2, f2) = self.a2.locate(x2);
+        let j0 = (i0 + 1).min(self.a0.len() - 1);
+        let j1 = (i1 + 1).min(self.a1.len() - 1);
+        let j2 = (i2 + 1).min(self.a2.len() - 1);
+        let lerp = |a: f64, b: f64, t: f64| a + (b - a) * t;
+        let c00 = lerp(self.at(i0, i1, i2), self.at(j0, i1, i2), f0);
+        let c10 = lerp(self.at(i0, j1, i2), self.at(j0, j1, i2), f0);
+        let c01 = lerp(self.at(i0, i1, j2), self.at(j0, i1, j2), f0);
+        let c11 = lerp(self.at(i0, j1, j2), self.at(j0, j1, j2), f0);
+        let c0 = lerp(c00, c10, f1);
+        let c1 = lerp(c01, c11, f1);
+        lerp(c0, c1, f2)
+    }
+
+    /// Number of stored samples.
+    pub fn num_samples(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locate_brackets_and_clamps() {
+        let a = Axis::pow2(1, 16); // 1,2,4,8,16
+        assert_eq!(a.locate(1), (0, 0.0));
+        assert_eq!(a.locate(0), (0, 0.0));
+        assert_eq!(a.locate(16), (3, 1.0));
+        // Above the top sample: linear extrapolation along the last segment.
+        let (i, f) = a.locate(100);
+        assert_eq!(i, 3);
+        assert!((f - (100.0 - 8.0) / 8.0).abs() < 1e-12);
+        let (i, f) = a.locate(3);
+        assert_eq!(i, 1);
+        assert!((f - 0.5).abs() < 1e-12);
+        let (i, f) = a.locate(12);
+        assert_eq!(i, 3);
+        assert!((f - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolation_exact_at_grid_points() {
+        let g = NdGrid::build(
+            Axis::pow2(1, 8),
+            Axis::pow2(32, 128),
+            Axis::singleton(),
+            |b, s, _| (b * s) as f64,
+        );
+        for &b in &[1usize, 2, 4, 8] {
+            for &s in &[32usize, 64, 128] {
+                assert_eq!(g.query(b, s, 0), (b * s) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn interpolation_linear_between_points() {
+        let g = NdGrid::build(
+            Axis::pow2(1, 8),
+            Axis::singleton(),
+            Axis::singleton(),
+            |b, _, _| b as f64 * 10.0,
+        );
+        // Linear function is reproduced exactly everywhere.
+        assert!((g.query(3, 0, 0) - 30.0).abs() < 1e-9);
+        assert!((g.query(6, 0, 0) - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolation_error_small_for_smooth_superlinear() {
+        // A quadratic (attention-like) curve sampled at powers of two:
+        // interpolation should stay within a few percent relative error.
+        let g = NdGrid::build(
+            Axis::singleton(),
+            Axis::pow2(32, 8192),
+            Axis::singleton(),
+            |_, s, _| (s * s) as f64,
+        );
+        for s in [48usize, 100, 700, 3000, 6000] {
+            let est = g.query(0, s, 0);
+            let truth = (s * s) as f64;
+            let rel = (est - truth).abs() / truth;
+            assert!(rel < 0.30, "s={s}: rel err {rel}");
+            assert!(est >= truth, "chord of a convex function lies above it");
+        }
+    }
+
+    #[test]
+    fn trilinear_matches_separable_function() {
+        let g = NdGrid::build(
+            Axis::pow2(1, 4),
+            Axis::pow2(16, 64),
+            Axis::pow2(16, 64),
+            |b, s1, s2| (b * (s1 + s2)) as f64,
+        );
+        // Multilinear in each coordinate, so exact for this function.
+        assert!((g.query(3, 24, 48) - (3 * (24 + 48)) as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn axis_rejects_unsorted() {
+        let _ = Axis::new(vec![1, 3, 2]);
+    }
+}

@@ -1,0 +1,343 @@
+//! Profiling: populate cost grids by sampling the hardware model.
+//!
+//! In the paper this step runs real forward/backward kernels on a GPU at
+//! power-of-two micro-batch sizes and sequence lengths (§3). Here the
+//! "device" is the analytic [`HardwareModel`] — the same ground truth the
+//! discrete-event simulator executes against — so profiling is exact at
+//! grid points and the only estimation error is interpolation (plus
+//! whatever jitter the simulator injects at run time).
+
+use crate::grid::{Axis, NdGrid};
+use dynapipe_model::config::ModelConfig;
+use dynapipe_model::hardware::{HardwareModel, LayerKind};
+use dynapipe_model::memory::{MemoryModel, RecomputeMode};
+use dynapipe_model::parallel::StageAssignment;
+use dynapipe_model::shapes::MicroBatchShape;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Profiling grid resolution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileOptions {
+    /// Largest micro-batch size to sample (powers of two from 1).
+    pub max_batch: usize,
+    /// Smallest sequence length to sample (a power of two).
+    pub min_seq: usize,
+    /// Largest sequence length to sample (a power of two).
+    pub max_seq: usize,
+}
+
+impl Default for ProfileOptions {
+    fn default() -> Self {
+        ProfileOptions {
+            max_batch: 256,
+            min_seq: 16,
+            max_seq: 65536,
+        }
+    }
+}
+
+impl ProfileOptions {
+    /// Coarser grid for fast tests.
+    pub fn coarse() -> Self {
+        ProfileOptions {
+            max_batch: 32,
+            min_seq: 32,
+            max_seq: 8192,
+        }
+    }
+}
+
+/// Profiled quantities for one layer kind.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerProfile {
+    /// Forward time (µs) over (batch, q-len, kv-len).
+    pub fwd_time: NdGrid,
+    /// Backward time (µs), excluding recomputation overhead.
+    pub bwd_time: NdGrid,
+    /// Recompute overhead (µs) per mode index (same order as
+    /// [`RecomputeMode::ALL`]).
+    pub recompute_extra: Vec<NdGrid>,
+    /// Stored activation bytes per mode index.
+    pub activation: Vec<NdGrid>,
+}
+
+/// The profiled database for a (model, tensor-parallel degree) pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfileDb {
+    /// The profiled model.
+    pub model: ModelConfig,
+    /// Tensor-parallel degree the profile was captured under.
+    pub tp: usize,
+    /// Per-layer-kind grids.
+    pub layers: HashMap<LayerKind, LayerProfile>,
+    /// LM-head forward time (µs) over target-token count (axis 0).
+    pub lm_head_fwd: NdGrid,
+}
+
+impl ProfileDb {
+    /// Profile `model` under tensor parallelism `tp` against `hw`.
+    ///
+    /// Runs the power-of-two sweep of §3: for each layer kind, forward and
+    /// backward time plus activation memory under every recomputation mode.
+    /// The decoder layer kind of encoder-decoder models is profiled over a
+    /// 3D grid (batch × target-len × context-len) because cross-attention
+    /// couples both sequence lengths.
+    pub fn profile(
+        hw: &HardwareModel,
+        mem: &MemoryModel,
+        model: &ModelConfig,
+        tp: usize,
+        opts: &ProfileOptions,
+    ) -> Self {
+        let kinds: &[LayerKind] = match model.arch {
+            dynapipe_model::ModelArch::Gpt => &[LayerKind::GptDecoder],
+            dynapipe_model::ModelArch::T5 => &[LayerKind::T5Encoder, LayerKind::T5Decoder],
+        };
+        let batch_axis = Axis::pow2(1, opts.max_batch);
+        let seq_axis = Axis::pow2(opts.min_seq, opts.max_seq);
+        let mut layers = HashMap::new();
+        for &kind in kinds {
+            let (a1, a2) = match kind {
+                LayerKind::T5Decoder => (seq_axis.clone(), seq_axis.clone()),
+                _ => (seq_axis.clone(), Axis::singleton()),
+            };
+            let shape_of = |b: usize, s1: usize, s2: usize| match kind {
+                LayerKind::GptDecoder => MicroBatchShape::gpt(b, s1),
+                LayerKind::T5Encoder => MicroBatchShape::t5(b, s1, 1),
+                // s1 = decoder (query) length, s2 = encoder (context) length.
+                LayerKind::T5Decoder => MicroBatchShape::t5(b, s2, s1),
+            };
+            let fwd_time =
+                NdGrid::build(batch_axis.clone(), a1.clone(), a2.clone(), |b, s1, s2| {
+                    hw.layer_time_fwd(model, kind, &shape_of(b, s1, s2), tp)
+                });
+            let bwd_time =
+                NdGrid::build(batch_axis.clone(), a1.clone(), a2.clone(), |b, s1, s2| {
+                    hw.layer_time_bwd(model, kind, &shape_of(b, s1, s2), tp)
+                });
+            let single_layer_stage = StageAssignment {
+                encoder_layers: usize::from(kind == LayerKind::T5Encoder),
+                decoder_layers: usize::from(kind != LayerKind::T5Encoder),
+                has_embedding: false,
+                has_lm_head: false,
+            };
+            let recompute_extra = RecomputeMode::ALL
+                .iter()
+                .map(|&mode| {
+                    NdGrid::build(batch_axis.clone(), a1.clone(), a2.clone(), |b, s1, s2| {
+                        mem.recompute_extra_time(
+                            hw,
+                            model,
+                            &single_layer_stage,
+                            &shape_of(b, s1, s2),
+                            mode,
+                            tp,
+                        )
+                    })
+                })
+                .collect();
+            let activation = RecomputeMode::ALL
+                .iter()
+                .map(|&mode| {
+                    NdGrid::build(batch_axis.clone(), a1.clone(), a2.clone(), |b, s1, s2| {
+                        mem.layer_activation_bytes(model, kind, &shape_of(b, s1, s2), mode, tp)
+                            as f64
+                    })
+                })
+                .collect();
+            layers.insert(
+                kind,
+                LayerProfile {
+                    fwd_time,
+                    bwd_time,
+                    recompute_extra,
+                    activation,
+                },
+            );
+        }
+        // LM head over total target tokens.
+        let token_axis = Axis::pow2(1, opts.max_batch * opts.max_seq);
+        let lm_head_fwd = NdGrid::build(
+            token_axis,
+            Axis::singleton(),
+            Axis::singleton(),
+            |tokens, _, _| {
+                let shape = match model.arch {
+                    dynapipe_model::ModelArch::Gpt => MicroBatchShape::gpt(1, tokens),
+                    dynapipe_model::ModelArch::T5 => MicroBatchShape::t5(1, 1, tokens),
+                };
+                let flops = hw.lm_head_flops(model, &shape) / tp as f64;
+                flops / hw.effective_flops(flops)
+            },
+        );
+        ProfileDb {
+            model: *model,
+            tp,
+            layers,
+            lm_head_fwd,
+        }
+    }
+
+    /// Index of `mode` in the per-mode grid vectors.
+    pub fn mode_index(mode: RecomputeMode) -> usize {
+        RecomputeMode::ALL
+            .iter()
+            .position(|&m| m == mode)
+            .expect("mode listed in ALL")
+    }
+
+    /// Interpolated forward time of one layer of `kind` for `shape`.
+    pub fn layer_fwd(&self, kind: LayerKind, shape: &MicroBatchShape) -> f64 {
+        let (q, kv) = Self::coords(kind, shape);
+        self.layers[&kind].fwd_time.query(shape.batch_size, q, kv)
+    }
+
+    /// Interpolated backward time (excluding recompute overhead).
+    pub fn layer_bwd(&self, kind: LayerKind, shape: &MicroBatchShape) -> f64 {
+        let (q, kv) = Self::coords(kind, shape);
+        self.layers[&kind].bwd_time.query(shape.batch_size, q, kv)
+    }
+
+    /// Interpolated recompute overhead for one layer.
+    pub fn layer_recompute(
+        &self,
+        kind: LayerKind,
+        shape: &MicroBatchShape,
+        mode: RecomputeMode,
+    ) -> f64 {
+        let (q, kv) = Self::coords(kind, shape);
+        self.layers[&kind].recompute_extra[Self::mode_index(mode)].query(shape.batch_size, q, kv)
+    }
+
+    /// Interpolated stored-activation bytes for one layer.
+    pub fn layer_activation(
+        &self,
+        kind: LayerKind,
+        shape: &MicroBatchShape,
+        mode: RecomputeMode,
+    ) -> f64 {
+        let (q, kv) = Self::coords(kind, shape);
+        self.layers[&kind].activation[Self::mode_index(mode)].query(shape.batch_size, q, kv)
+    }
+
+    /// Interpolated LM-head forward time for `target_tokens`.
+    pub fn lm_head_fwd_time(&self, target_tokens: usize) -> f64 {
+        self.lm_head_fwd.query(target_tokens, 0, 0)
+    }
+
+    fn coords(kind: LayerKind, shape: &MicroBatchShape) -> (usize, usize) {
+        match kind {
+            LayerKind::GptDecoder | LayerKind::T5Encoder => (shape.enc_len, 0),
+            LayerKind::T5Decoder => (shape.dec_len, shape.enc_len),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db(model: &ModelConfig) -> ProfileDb {
+        ProfileDb::profile(
+            &HardwareModel::a100_cluster(),
+            &MemoryModel::default(),
+            model,
+            1,
+            &ProfileOptions::coarse(),
+        )
+    }
+
+    #[test]
+    fn gpt_profile_has_only_decoder_kind() {
+        let d = db(&ModelConfig::gpt_6_7b());
+        assert_eq!(d.layers.len(), 1);
+        assert!(d.layers.contains_key(&LayerKind::GptDecoder));
+    }
+
+    #[test]
+    fn t5_profile_has_encoder_and_decoder() {
+        let d = db(&ModelConfig::t5_11b());
+        assert!(d.layers.contains_key(&LayerKind::T5Encoder));
+        assert!(d.layers.contains_key(&LayerKind::T5Decoder));
+    }
+
+    #[test]
+    fn profile_exact_at_grid_points() {
+        let model = ModelConfig::gpt_6_7b();
+        let hw = HardwareModel::a100_cluster();
+        let d = db(&model);
+        let shape = MicroBatchShape::gpt(4, 2048);
+        let truth = hw.layer_time_fwd(&model, LayerKind::GptDecoder, &shape, 1);
+        let est = d.layer_fwd(LayerKind::GptDecoder, &shape);
+        assert!((est - truth).abs() / truth < 1e-9);
+    }
+
+    #[test]
+    fn profile_interpolation_error_bounded_off_grid() {
+        // §8.6: the paper reports ≲11% mean error for time. Off-grid points
+        // must interpolate within a tight bound relative to the analytic
+        // ground truth.
+        let model = ModelConfig::gpt_6_7b();
+        let hw = HardwareModel::a100_cluster();
+        let d = db(&model);
+        for (b, s) in [(3usize, 1000usize), (5, 700), (7, 3000), (12, 333)] {
+            let shape = MicroBatchShape::gpt(b, s);
+            let truth = hw.layer_time_fwd(&model, LayerKind::GptDecoder, &shape, 1);
+            let est = d.layer_fwd(LayerKind::GptDecoder, &shape);
+            let rel = (est - truth).abs() / truth;
+            assert!(rel < 0.25, "b={b} s={s}: rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn activation_memory_decreases_with_recompute_mode() {
+        let model = ModelConfig::gpt_6_7b();
+        let d = db(&model);
+        let shape = MicroBatchShape::gpt(4, 2048);
+        let none = d.layer_activation(LayerKind::GptDecoder, &shape, RecomputeMode::None);
+        let sel = d.layer_activation(LayerKind::GptDecoder, &shape, RecomputeMode::Selective);
+        let full = d.layer_activation(LayerKind::GptDecoder, &shape, RecomputeMode::Full);
+        assert!(none > sel && sel > full);
+    }
+
+    #[test]
+    fn recompute_overhead_increases_with_mode() {
+        let model = ModelConfig::t5_11b();
+        let d = db(&model);
+        let shape = MicroBatchShape::t5(4, 2048, 512);
+        let none = d.layer_recompute(LayerKind::T5Encoder, &shape, RecomputeMode::None);
+        let sel = d.layer_recompute(LayerKind::T5Encoder, &shape, RecomputeMode::Selective);
+        let full = d.layer_recompute(LayerKind::T5Encoder, &shape, RecomputeMode::Full);
+        assert_eq!(none, 0.0);
+        assert!(full > sel && sel > 0.0);
+    }
+
+    #[test]
+    fn decoder_grid_couples_both_lengths() {
+        let model = ModelConfig::t5_11b();
+        let d = db(&model);
+        let short = MicroBatchShape::t5(2, 256, 128);
+        let long = MicroBatchShape::t5(2, 4096, 128);
+        // Same decoder length, longer encoder context: costlier cross-attn.
+        assert!(
+            d.layer_fwd(LayerKind::T5Decoder, &long) > d.layer_fwd(LayerKind::T5Decoder, &short)
+        );
+    }
+
+    #[test]
+    fn lm_head_time_grows_with_tokens() {
+        let d = db(&ModelConfig::gpt_6_7b());
+        assert!(d.lm_head_fwd_time(8192) > d.lm_head_fwd_time(512));
+    }
+
+    #[test]
+    fn queries_clamp_outside_grid() {
+        let model = ModelConfig::gpt_6_7b();
+        let d = db(&model);
+        // Beyond max_batch and max_seq of the coarse grid: finite clamp.
+        let big = MicroBatchShape::gpt(512, 100_000);
+        let v = d.layer_fwd(LayerKind::GptDecoder, &big);
+        assert!(v.is_finite() && v > 0.0);
+    }
+}

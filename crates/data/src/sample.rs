@@ -1,0 +1,108 @@
+//! The per-sample record: everything DynaPipe needs is a length pair.
+
+use serde::{Deserialize, Serialize};
+
+/// One training sample, described by its sequence lengths.
+///
+/// For encoder-decoder models (T5) the `input_len`/`target_len` pair maps to
+/// encoder and decoder sequence lengths. For decoder-only models (GPT) the
+/// prompt and target are concatenated into one sequence of
+/// [`Sample::gpt_len`] tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Sample {
+    /// Stable id within the dataset.
+    pub id: u64,
+    /// Index of the generating task in the task registry.
+    pub task: usize,
+    /// Input (encoder) sequence length in tokens.
+    pub input_len: usize,
+    /// Target (decoder) sequence length in tokens.
+    pub target_len: usize,
+}
+
+impl Sample {
+    /// Sequence length seen by a decoder-only model (input ++ target).
+    pub fn gpt_len(&self) -> usize {
+        self.input_len + self.target_len
+    }
+
+    /// Total non-padding tokens this sample contributes.
+    pub fn total_tokens(&self) -> usize {
+        self.input_len + self.target_len
+    }
+
+    /// A copy truncated so no sequence exceeds `max_len` tokens.
+    ///
+    /// Mirrors the paper's preprocessing: sequences longer than the
+    /// experiment's maximum sequence length are truncated, not dropped.
+    /// For the decoder-only view, the truncation applies to the combined
+    /// length, trimming the input first (the target carries the loss).
+    pub fn truncated(&self, max_len: usize) -> Sample {
+        let mut s = *self;
+        s.target_len = s.target_len.min(max_len);
+        s.input_len = s.input_len.min(max_len);
+        if s.gpt_len() > max_len {
+            s.input_len = max_len - s.target_len;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpt_len_concatenates() {
+        let s = Sample {
+            id: 0,
+            task: 0,
+            input_len: 100,
+            target_len: 20,
+        };
+        assert_eq!(s.gpt_len(), 120);
+    }
+
+    #[test]
+    fn truncation_caps_each_sequence() {
+        let s = Sample {
+            id: 0,
+            task: 0,
+            input_len: 9000,
+            target_len: 200,
+        };
+        let t = s.truncated(2048);
+        assert!(t.input_len <= 2048 && t.target_len <= 2048);
+        assert!(t.gpt_len() <= 2048);
+        assert_eq!(
+            t.target_len, 200,
+            "target should be preserved when possible"
+        );
+        assert_eq!(t.input_len, 2048 - 200);
+    }
+
+    #[test]
+    fn truncation_is_identity_for_short_samples() {
+        let s = Sample {
+            id: 1,
+            task: 2,
+            input_len: 50,
+            target_len: 5,
+        };
+        assert_eq!(s.truncated(512), s);
+    }
+
+    #[test]
+    fn truncation_handles_long_target() {
+        let s = Sample {
+            id: 2,
+            task: 0,
+            input_len: 10,
+            target_len: 5000,
+        };
+        let t = s.truncated(1024);
+        assert_eq!(t.target_len, 1024);
+        assert_eq!(t.input_len, 0);
+        assert!(t.gpt_len() <= 1024);
+    }
+}

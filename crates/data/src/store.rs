@@ -1,0 +1,241 @@
+//! Compact on-disk dataset format.
+//!
+//! The paper's artifact preprocesses FLANv2 into Megatron-LM's binary
+//! `.bin`/`.idx` format once and memory-maps it for training. This module
+//! is the reproduction's analogue: a dataset (task registry + per-sample
+//! length records) serializes to a small binary file so experiment sweeps
+//! can share one preprocessed dataset instead of regenerating it.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic "DPDS" | version u32 | seed-independent payload:
+//! num_tasks u32 | per task: name_len u32, name bytes, category u8,
+//!                           weight f64, 2 × (mu f64, sigma f64, min u32)
+//! num_samples u64 | per sample: task u16, input_len u32, target_len u32
+//! ```
+//!
+//! Sample ids are implicit (record order), matching [`Dataset::flanv2`].
+
+use crate::dataset::Dataset;
+use crate::sample::Sample;
+use crate::tasks::{LengthDist, TaskCategory, TaskSpec};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"DPDS";
+const VERSION: u32 = 1;
+
+fn category_code(c: TaskCategory) -> u8 {
+    match c {
+        TaskCategory::Classification => 0,
+        TaskCategory::Entailment => 1,
+        TaskCategory::QuestionAnswering => 2,
+        TaskCategory::Translation => 3,
+        TaskCategory::Summarization => 4,
+        TaskCategory::LongDocument => 5,
+        TaskCategory::Dialog => 6,
+        TaskCategory::ReadingComprehension => 7,
+    }
+}
+
+fn category_from(code: u8) -> io::Result<TaskCategory> {
+    Ok(match code {
+        0 => TaskCategory::Classification,
+        1 => TaskCategory::Entailment,
+        2 => TaskCategory::QuestionAnswering,
+        3 => TaskCategory::Translation,
+        4 => TaskCategory::Summarization,
+        5 => TaskCategory::LongDocument,
+        6 => TaskCategory::Dialog,
+        7 => TaskCategory::ReadingComprehension,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown task category code {other}"),
+            ))
+        }
+    })
+}
+
+/// Serialize `dataset` to `w`.
+pub fn write_dataset(dataset: &Dataset, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(dataset.tasks.len() as u32).to_le_bytes())?;
+    for t in &dataset.tasks {
+        let name = t.name.as_bytes();
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name)?;
+        w.write_all(&[category_code(t.category)])?;
+        w.write_all(&t.weight.to_le_bytes())?;
+        for d in [&t.input_dist, &t.target_dist] {
+            w.write_all(&d.mu.to_le_bytes())?;
+            w.write_all(&d.sigma.to_le_bytes())?;
+            w.write_all(&(d.min_len as u32).to_le_bytes())?;
+        }
+    }
+    w.write_all(&(dataset.samples.len() as u64).to_le_bytes())?;
+    for s in &dataset.samples {
+        if s.task > u16::MAX as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "task index exceeds u16",
+            ));
+        }
+        w.write_all(&(s.task as u16).to_le_bytes())?;
+        w.write_all(&(s.input_len as u32).to_le_bytes())?;
+        w.write_all(&(s.target_len as u32).to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_exact<const N: usize>(r: &mut impl Read) -> io::Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Deserialize a dataset from `r`, validating the header.
+pub fn read_dataset(r: &mut impl Read) -> io::Result<Dataset> {
+    let magic = read_exact::<4>(r)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a DPDS file"));
+    }
+    let version = u32::from_le_bytes(read_exact::<4>(r)?);
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported DPDS version {version}"),
+        ));
+    }
+    let num_tasks = u32::from_le_bytes(read_exact::<4>(r)?) as usize;
+    let mut tasks = Vec::with_capacity(num_tasks);
+    for _ in 0..num_tasks {
+        let name_len = u32::from_le_bytes(read_exact::<4>(r)?) as usize;
+        if name_len > 4096 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "task name too long"));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let category = category_from(read_exact::<1>(r)?[0])?;
+        let weight = f64::from_le_bytes(read_exact::<8>(r)?);
+        let mut dists = Vec::with_capacity(2);
+        for _ in 0..2 {
+            let mu = f64::from_le_bytes(read_exact::<8>(r)?);
+            let sigma = f64::from_le_bytes(read_exact::<8>(r)?);
+            let min_len = u32::from_le_bytes(read_exact::<4>(r)?) as usize;
+            dists.push(LengthDist { mu, sigma, min_len });
+        }
+        tasks.push(TaskSpec {
+            // Task names round-trip through a leaked static string: the
+            // registry type uses `&'static str` for zero-cost literals, and
+            // datasets are loaded a handful of times per process.
+            name: Box::leak(name.into_boxed_str()),
+            category,
+            weight,
+            input_dist: dists[0],
+            target_dist: dists[1],
+        });
+    }
+    let num_samples = u64::from_le_bytes(read_exact::<8>(r)?) as usize;
+    let mut samples = Vec::with_capacity(num_samples.min(1 << 24));
+    for id in 0..num_samples {
+        let task = u16::from_le_bytes(read_exact::<2>(r)?) as usize;
+        if task >= tasks.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("sample {id} references task {task} of {}", tasks.len()),
+            ));
+        }
+        let input_len = u32::from_le_bytes(read_exact::<4>(r)?) as usize;
+        let target_len = u32::from_le_bytes(read_exact::<4>(r)?) as usize;
+        samples.push(Sample { id: id as u64, task, input_len, target_len });
+    }
+    Ok(Dataset { tasks, samples })
+}
+
+/// Save a dataset to `path`.
+pub fn save_dataset(dataset: &Dataset, path: impl AsRef<std::path::Path>) -> io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_dataset(dataset, &mut f)?;
+    f.flush()
+}
+
+/// Load a dataset from `path`.
+pub fn load_dataset(path: impl AsRef<std::path::Path>) -> io::Result<Dataset> {
+    let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+    read_dataset(&mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let d = Dataset::flanv2(9, 2000);
+        let mut buf = Vec::new();
+        write_dataset(&d, &mut buf).unwrap();
+        let back = read_dataset(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.samples, d.samples);
+        assert_eq!(back.tasks.len(), d.tasks.len());
+        for (a, b) in d.tasks.iter().zip(&back.tasks) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.category, b.category);
+            assert_eq!(a.weight, b.weight);
+            assert_eq!(a.input_dist, b.input_dist);
+            assert_eq!(a.target_dist, b.target_dist);
+        }
+    }
+
+    #[test]
+    fn format_is_compact() {
+        let d = Dataset::flanv2(9, 10_000);
+        let mut buf = Vec::new();
+        write_dataset(&d, &mut buf).unwrap();
+        // 10 bytes per sample plus a small header.
+        assert!(buf.len() < 10 * 10_000 + 1024, "size {}", buf.len());
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let err = read_dataset(&mut &b"NOPE"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        let err = read_dataset(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let d = Dataset::flanv2(3, 100);
+        let mut buf = Vec::new();
+        write_dataset(&d, &mut buf).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(read_dataset(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_task_reference() {
+        let mut d = Dataset::flanv2(3, 10);
+        d.samples[5].task = 999; // corrupt
+        let mut buf = Vec::new();
+        // Writing allows it (u16 fits); reading validates.
+        write_dataset(&d, &mut buf).unwrap();
+        assert!(read_dataset(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let d = Dataset::flanv2(13, 500);
+        let path = std::env::temp_dir().join("dynapipe_dpds_test.bin");
+        save_dataset(&d, &path).unwrap();
+        let back = load_dataset(&path).unwrap();
+        assert_eq!(back.samples, d.samples);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,39 @@
+//! Model, parallelism and hardware cost formulas for the DynaPipe reproduction.
+//!
+//! This crate is the analytical foundation of the reproduction. It provides:
+//!
+//! * [`config`] — transformer model configurations (GPT decoder-only and T5
+//!   encoder-decoder) matching Table 1 of the paper, with parameter counting.
+//! * [`parallel`] — 3D-parallelism configurations (data / tensor / pipeline)
+//!   and the layer-to-stage assignment used by pipeline parallelism.
+//! * [`hardware`] — an analytic model of an A100-40GB-like accelerator and its
+//!   interconnects (NVSwitch intra-node, EFA inter-node). It substitutes for
+//!   the paper's GPU profiling: transformer-layer FLOPs divided by an
+//!   occupancy-dependent effective throughput, plus communication terms.
+//! * [`memory`] — parameter / optimizer-state / activation memory formulas and
+//!   the recomputation (activation checkpointing) variants of §7.
+//! * [`shapes`] — micro-batch shapes (batch size, encoder/decoder sequence
+//!   lengths) and the sizes of tensors communicated between pipeline stages.
+//!
+//! Everything downstream (cost models, the discrete-event simulator, the
+//! planner) consumes these formulas, so the *same* ground truth drives both
+//! the "measured" (simulated) numbers and the planner's estimates — exactly
+//! the relationship the paper has between its testbed and its cost models.
+
+pub mod config;
+pub mod hardware;
+pub mod memory;
+pub mod parallel;
+pub mod shapes;
+
+pub use config::{ModelArch, ModelConfig};
+pub use hardware::HardwareModel;
+pub use memory::{MemoryModel, RecomputeMode};
+pub use parallel::{ParallelConfig, StageKind, StageLayout};
+pub use shapes::MicroBatchShape;
+
+/// Microseconds, the time unit used throughout the reproduction.
+pub type Micros = f64;
+
+/// Bytes, the memory unit used throughout the reproduction.
+pub type Bytes = u64;

@@ -1,0 +1,338 @@
+//! Memory formulas: model states, activations and recomputation variants.
+//!
+//! Peak device memory during pipeline training is static model state
+//! (weights, gradients, optimizer states — ZeRO-1 shards the latter across
+//! data-parallel replicas, matching the paper's Megatron-LM + DeepSpeed
+//! setup) plus the activations accumulated for in-flight micro-batches.
+//! Activation checkpointing (§7 "dynamic recomputation") trades activation
+//! memory for recomputed forward time; DynaPipe picks the cheapest mode that
+//! fits per iteration.
+
+use crate::config::{ModelArch, ModelConfig};
+use crate::hardware::{HardwareModel, LayerKind};
+use crate::parallel::StageAssignment;
+use crate::shapes::{MicroBatchShape, ACT_DTYPE_BYTES};
+use crate::{Bytes, Micros};
+use serde::{Deserialize, Serialize};
+
+/// Activation checkpointing (recomputation) mode for a training iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RecomputeMode {
+    /// Store every intermediate activation; no recomputation.
+    None,
+    /// Megatron-style selective recomputation: drop the quadratic attention
+    /// score/softmax tensors and recompute them in the backward pass.
+    Selective,
+    /// Full recomputation: store only each layer's input and re-run the
+    /// whole forward during backward.
+    Full,
+}
+
+impl RecomputeMode {
+    /// All modes, cheapest (in time) first — the order in which the planner
+    /// tries them (§7).
+    pub const ALL: [RecomputeMode; 3] = [
+        RecomputeMode::None,
+        RecomputeMode::Selective,
+        RecomputeMode::Full,
+    ];
+
+    /// Short label for logs and experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecomputeMode::None => "none",
+            RecomputeMode::Selective => "selective",
+            RecomputeMode::Full => "full",
+        }
+    }
+}
+
+/// Memory model bound to a hardware description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoryModel {
+    /// Bytes per parameter for weights (bf16).
+    pub weight_bytes_per_param: f64,
+    /// Bytes per parameter for gradients (fp32 accumulation).
+    pub grad_bytes_per_param: f64,
+    /// Bytes per parameter for optimizer states before ZeRO sharding
+    /// (fp32 master copy + Adam first/second moments).
+    pub optimizer_bytes_per_param: f64,
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        MemoryModel {
+            weight_bytes_per_param: 2.0,
+            grad_bytes_per_param: 4.0,
+            optimizer_bytes_per_param: 12.0,
+        }
+    }
+}
+
+impl MemoryModel {
+    /// Parameters held by one pipeline stage after tensor-parallel sharding.
+    pub fn stage_params(&self, model: &ModelConfig, stage: &StageAssignment, tp: usize) -> u64 {
+        let mut p = stage.encoder_layers as u64 * model.encoder_layer_params()
+            + stage.decoder_layers as u64 * model.decoder_layer_params();
+        if stage.has_embedding {
+            p += model.embedding_params();
+        }
+        if stage.has_lm_head && !stage.has_embedding {
+            // Output head weights are tied to the embedding; they only cost
+            // extra storage when embedding and head live on different stages.
+            p += model.embedding_params();
+        }
+        p / tp as u64
+    }
+
+    /// Static (per-iteration-constant) memory of one stage: weights,
+    /// gradients and ZeRO-1-sharded optimizer states.
+    pub fn static_stage_bytes(
+        &self,
+        model: &ModelConfig,
+        stage: &StageAssignment,
+        tp: usize,
+        dp: usize,
+    ) -> Bytes {
+        let p = self.stage_params(model, stage, tp) as f64;
+        let per_param = self.weight_bytes_per_param
+            + self.grad_bytes_per_param
+            + self.optimizer_bytes_per_param / dp as f64;
+        (p * per_param) as Bytes
+    }
+
+    /// Activation bytes one layer must keep for the backward pass of a
+    /// micro-batch, under the given recomputation mode. Activations are
+    /// sharded by tensor parallelism.
+    pub fn layer_activation_bytes(
+        &self,
+        model: &ModelConfig,
+        kind: LayerKind,
+        shape: &MicroBatchShape,
+        mode: RecomputeMode,
+        tp: usize,
+    ) -> Bytes {
+        if shape.batch_size == 0 {
+            return 0;
+        }
+        let b = shape.batch_size as u64;
+        let h = model.hidden_dim as u64;
+        let a = model.attn_dim() as u64;
+        let f = model.ffn_dim as u64;
+        let heads = model.num_heads as u64;
+        let d = ACT_DTYPE_BYTES;
+        let (s_q, s_kv, causal) = match kind {
+            LayerKind::GptDecoder => (shape.enc_len as u64, shape.enc_len as u64, true),
+            LayerKind::T5Encoder => (shape.enc_len as u64, shape.enc_len as u64, false),
+            LayerKind::T5Decoder => (shape.dec_len as u64, shape.enc_len as u64, false),
+        };
+        let linear = match mode {
+            // Inputs of each linear/norm op: layer input + QKV + attention
+            // context + MLP intermediates.
+            RecomputeMode::None | RecomputeMode::Selective => b * s_q * (3 * h + 4 * a + 2 * f) * d,
+            RecomputeMode::Full => b * s_q * h * d,
+        };
+        let scores = match mode {
+            RecomputeMode::None => {
+                let full = 2 * b * heads * s_q * s_kv * d; // scores + softmax
+                if causal {
+                    full / 2
+                } else {
+                    full
+                }
+            }
+            RecomputeMode::Selective | RecomputeMode::Full => 0,
+        };
+        (linear + scores) / tp as u64
+    }
+
+    /// Activation bytes an entire stage must hold for one in-flight
+    /// micro-batch, under the given recomputation mode.
+    pub fn stage_activation_bytes(
+        &self,
+        model: &ModelConfig,
+        stage: &StageAssignment,
+        shape: &MicroBatchShape,
+        mode: RecomputeMode,
+        tp: usize,
+    ) -> Bytes {
+        let (enc_kind, dec_kind) = match model.arch {
+            ModelArch::Gpt => (LayerKind::GptDecoder, LayerKind::GptDecoder),
+            ModelArch::T5 => (LayerKind::T5Encoder, LayerKind::T5Decoder),
+        };
+        let mut bytes = stage.encoder_layers as u64
+            * self.layer_activation_bytes(model, enc_kind, shape, mode, tp)
+            + stage.decoder_layers as u64
+                * self.layer_activation_bytes(model, dec_kind, shape, mode, tp);
+        // The stage input itself is always retained until backward.
+        bytes += shape.padded_tokens() * model.hidden_dim as u64 * ACT_DTYPE_BYTES / tp as u64;
+        bytes
+    }
+
+    /// Extra *forward-equivalent* time the backward pass of one stage pays
+    /// to recompute discarded activations.
+    pub fn recompute_extra_time(
+        &self,
+        hw: &HardwareModel,
+        model: &ModelConfig,
+        stage: &StageAssignment,
+        shape: &MicroBatchShape,
+        mode: RecomputeMode,
+        tp: usize,
+    ) -> Micros {
+        match mode {
+            RecomputeMode::None => 0.0,
+            RecomputeMode::Full => hw.stage_time_fwd(model, stage, shape, tp),
+            RecomputeMode::Selective => {
+                // Recompute only the attention score/softmax/context chain:
+                // the quadratic term of each layer.
+                if shape.batch_size == 0 {
+                    return 0.0;
+                }
+                let (enc_kind, dec_kind) = match model.arch {
+                    ModelArch::Gpt => (LayerKind::GptDecoder, LayerKind::GptDecoder),
+                    ModelArch::T5 => (LayerKind::T5Encoder, LayerKind::T5Decoder),
+                };
+                let mut flops = 0.0;
+                let mut membound = 0.0;
+                for (kind, layers) in [
+                    (enc_kind, stage.encoder_layers),
+                    (dec_kind, stage.decoder_layers),
+                ] {
+                    if layers == 0 {
+                        continue;
+                    }
+                    let b = shape.batch_size as f64;
+                    let a = model.attn_dim() as f64;
+                    let (s_q, s_kv, causal) = match kind {
+                        LayerKind::GptDecoder => (shape.enc_len as f64, shape.enc_len as f64, true),
+                        LayerKind::T5Encoder => (shape.enc_len as f64, shape.enc_len as f64, false),
+                        LayerKind::T5Decoder => (shape.dec_len as f64, shape.enc_len as f64, false),
+                    };
+                    let mut score_flops = 4.0 * b * s_q * s_kv * a;
+                    if causal {
+                        score_flops *= 0.5;
+                    }
+                    flops += layers as f64 * score_flops;
+                    // Recomputing attention repeats its memory-bound pass.
+                    membound += layers as f64 * hw.attn_membound_time_fwd(model, kind, shape, tp);
+                }
+                let per_device = flops / tp as f64;
+                per_device / hw.effective_flops(per_device) + membound
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::StageLayout;
+
+    fn gpt_stage() -> (ModelConfig, StageAssignment) {
+        let model = ModelConfig::gpt_6_7b();
+        let layout = StageLayout::new(&model, 4);
+        (model, *layout.stage(1))
+    }
+
+    #[test]
+    fn recompute_modes_strictly_reduce_activation_memory() {
+        let (model, stage) = gpt_stage();
+        let mm = MemoryModel::default();
+        let shape = MicroBatchShape::gpt(4, 2048);
+        let none = mm.stage_activation_bytes(&model, &stage, &shape, RecomputeMode::None, 1);
+        let sel = mm.stage_activation_bytes(&model, &stage, &shape, RecomputeMode::Selective, 1);
+        let full = mm.stage_activation_bytes(&model, &stage, &shape, RecomputeMode::Full, 1);
+        assert!(none > sel, "none {none} should exceed selective {sel}");
+        assert!(sel > full, "selective {sel} should exceed full {full}");
+    }
+
+    #[test]
+    fn recompute_modes_strictly_increase_time() {
+        let (model, stage) = gpt_stage();
+        let mm = MemoryModel::default();
+        let hw = HardwareModel::a100_cluster();
+        let shape = MicroBatchShape::gpt(4, 2048);
+        let none = mm.recompute_extra_time(&hw, &model, &stage, &shape, RecomputeMode::None, 1);
+        let sel = mm.recompute_extra_time(&hw, &model, &stage, &shape, RecomputeMode::Selective, 1);
+        let full = mm.recompute_extra_time(&hw, &model, &stage, &shape, RecomputeMode::Full, 1);
+        assert_eq!(none, 0.0);
+        assert!(sel > 0.0);
+        assert!(full > sel);
+        // Selective recomputation must cost less than a full extra forward.
+        let fwd = hw.stage_time_fwd(&model, &stage, &shape, 1);
+        assert!(sel < 0.5 * fwd);
+        assert!((full - fwd).abs() < 1e-6);
+    }
+
+    #[test]
+    fn score_memory_quadratic_in_sequence_length() {
+        let (model, stage) = gpt_stage();
+        let mm = MemoryModel::default();
+        let short = MicroBatchShape::gpt(1, 1024);
+        let long = MicroBatchShape::gpt(1, 4096);
+        let mem = |s| mm.stage_activation_bytes(&model, &stage, s, RecomputeMode::None, 1) as f64;
+        let mem_sel =
+            |s| mm.stage_activation_bytes(&model, &stage, s, RecomputeMode::Selective, 1) as f64;
+        // With scores stored, 4x longer sequence costs much more than 4x.
+        assert!(mem(&long) / mem(&short) > 5.0);
+        // Without scores, growth is linear.
+        let lin_ratio = mem_sel(&long) / mem_sel(&short);
+        assert!((3.5..4.5).contains(&lin_ratio), "ratio {lin_ratio}");
+    }
+
+    #[test]
+    fn zero_shards_optimizer_states_across_dp() {
+        let (model, stage) = gpt_stage();
+        let mm = MemoryModel::default();
+        let dp1 = mm.static_stage_bytes(&model, &stage, 1, 1);
+        let dp4 = mm.static_stage_bytes(&model, &stage, 1, 4);
+        assert!(dp4 < dp1);
+        // Weights + grads (6 B/param) are not sharded; optimizer (12) is.
+        let p = mm.stage_params(&model, &stage, 1) as f64;
+        let expect_dp4 = p * (2.0 + 4.0 + 12.0 / 4.0);
+        assert!((dp4 as f64 - expect_dp4).abs() / expect_dp4 < 1e-9);
+    }
+
+    #[test]
+    fn tensor_parallel_shards_params_and_activations() {
+        let (model, stage) = gpt_stage();
+        let mm = MemoryModel::default();
+        let shape = MicroBatchShape::gpt(4, 2048);
+        assert!(mm.stage_params(&model, &stage, 4) <= mm.stage_params(&model, &stage, 1) / 4 + 1);
+        let a1 = mm.stage_activation_bytes(&model, &stage, &shape, RecomputeMode::None, 1);
+        let a4 = mm.stage_activation_bytes(&model, &stage, &shape, RecomputeMode::None, 4);
+        assert!(a4 * 3 < a1, "activations should shrink ~4x under tp=4");
+    }
+
+    #[test]
+    fn first_stage_carries_embedding_memory() {
+        let model = ModelConfig::gpt_6_7b();
+        let layout = StageLayout::new(&model, 4);
+        let mm = MemoryModel::default();
+        let first = mm.stage_params(&model, layout.stage(0), 1);
+        let mid = mm.stage_params(&model, layout.stage(1), 1);
+        assert!(first > mid);
+        assert_eq!(
+            first - mid,
+            model.embedding_params(),
+            "difference should be exactly the embedding table"
+        );
+    }
+
+    #[test]
+    fn static_memory_fits_a100_for_paper_configs() {
+        // GPT-6.7B on 8 GPUs with tp=2, pp=2, dp=2 must leave activation
+        // headroom on a 40 GB device — otherwise the paper's experiments
+        // could not have run.
+        let model = ModelConfig::gpt_6_7b();
+        let layout = StageLayout::new(&model, 2);
+        let mm = MemoryModel::default();
+        let hw = HardwareModel::a100_cluster();
+        let stat = mm.static_stage_bytes(&model, layout.stage(0), 2, 2);
+        assert!(
+            stat < hw.device_memory * 3 / 4,
+            "static {stat} leaves no activation room"
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! The 1F1B pipeline schedule (PipeDream-flush), the paper's baseline.
+//!
+//! Stage `j` of `c` runs `c-1-j` warm-up forwards, then strictly alternates
+//! one forward / one backward, then drains the remaining backwards. Micro-
+//! batch processing on consecutive stages is packed tightly, which is what
+//! leaves zero safety stock in the steady state (§5) and makes the schedule
+//! fragile under variable micro-batch execution times.
+
+use crate::types::{Schedule, ScheduledOp};
+
+/// Generate the 1F1B schedule for `m` micro-batches over `c` stages.
+///
+/// # Panics
+///
+/// Panics if `c == 0`.
+pub fn one_f_one_b(m: usize, c: usize) -> Schedule {
+    assert!(c > 0, "need at least one stage");
+    let mut orders = Vec::with_capacity(c);
+    for j in 0..c {
+        let warmup = (c - 1 - j).min(m);
+        let mut order = Vec::with_capacity(2 * m);
+        let mut fwd = 0usize;
+        let mut bwd = 0usize;
+        for _ in 0..warmup {
+            order.push(ScheduledOp::fwd(fwd));
+            fwd += 1;
+        }
+        while bwd < m {
+            if fwd < m {
+                order.push(ScheduledOp::fwd(fwd));
+                fwd += 1;
+            }
+            order.push(ScheduledOp::bwd(bwd));
+            bwd += 1;
+        }
+        orders.push(order);
+    }
+    Schedule { orders }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_complete_and_ordered() {
+        for (m, c) in [(1usize, 1usize), (4, 4), (8, 4), (3, 8), (16, 2)] {
+            let s = one_f_one_b(m, c);
+            s.validate(m).unwrap_or_else(|e| panic!("m={m} c={c}: {e}"));
+        }
+    }
+
+    #[test]
+    fn first_stage_warms_up_c_minus_one_forwards() {
+        let s = one_f_one_b(8, 4);
+        // Stage 0: 3 warm-up forwards, then the steady state's first
+        // forward/backward pair.
+        let first: Vec<bool> = s.orders[0].iter().take(5).map(|o| o.backward).collect();
+        assert_eq!(first, vec![false, false, false, false, true]);
+        // Last stage has no warmup: strictly alternating from the start.
+        let last: Vec<bool> = s.orders[3].iter().take(4).map(|o| o.backward).collect();
+        assert_eq!(last, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn backwards_in_micro_batch_order() {
+        let s = one_f_one_b(6, 3);
+        for order in &s.orders {
+            let bwds: Vec<usize> = order.iter().filter(|o| o.backward).map(|o| o.mb).collect();
+            assert_eq!(bwds, vec![0, 1, 2, 3, 4, 5]);
+        }
+    }
+
+    #[test]
+    fn peak_memory_is_stage_dependent() {
+        // In 1F1B, stage j holds at most c-j activations: the first stage
+        // accumulates the most.
+        let s = one_f_one_b(8, 4);
+        let act = vec![vec![1u64; 4]; 8];
+        let peaks = s.peak_memory(&act);
+        assert_eq!(peaks, vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn fewer_micro_batches_than_stages() {
+        let s = one_f_one_b(2, 6);
+        s.validate(2).unwrap();
+        // Warmup capped at m.
+        assert_eq!(s.orders[0].len(), 4);
+    }
+}

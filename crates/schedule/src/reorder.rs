@@ -1,0 +1,181 @@
+//! Micro-batch ordering by execution-time clustering (§5).
+//!
+//! The injection order of micro-batches affects throughput under variable
+//! execution times, but optimizing it directly is intractable. DynaPipe
+//! clusters micro-batches by predicted execution time — micro-batches with
+//! similar cost should be scheduled near each other — and searches the
+//! permutations of the (3–4) clusters for the order with the best simulated
+//! makespan.
+
+use crate::adaptive::adaptive_schedule;
+use crate::timeline::evaluate_schedule;
+use crate::types::ScheduleInput;
+use dynapipe_model::Micros;
+use serde::{Deserialize, Serialize};
+
+/// Reordering configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReorderConfig {
+    /// Number of execution-time clusters. The paper finds 3–4 suffice.
+    pub num_clusters: usize,
+}
+
+impl Default for ReorderConfig {
+    fn default() -> Self {
+        ReorderConfig { num_clusters: 3 }
+    }
+}
+
+/// Find a good micro-batch injection order.
+///
+/// Returns the permutation (indices into `input`'s micro-batches) whose
+/// adaptive-schedule makespan is smallest among all permutations of the
+/// execution-time clusters, together with that makespan.
+pub fn reorder_micro_batches(
+    input: &ScheduleInput,
+    config: &ReorderConfig,
+) -> (Vec<usize>, Micros) {
+    let m = input.num_micro_batches();
+    if m == 0 {
+        return (Vec::new(), 0.0);
+    }
+    let k = config.num_clusters.clamp(1, 4).min(m);
+    // Sort micro-batches by predicted time, then split into k quantile
+    // clusters of near-equal size.
+    let mut by_time: Vec<usize> = (0..m).collect();
+    by_time.sort_by(|&a, &b| input.mb_time(a).total_cmp(&input.mb_time(b)));
+    let mut clusters: Vec<Vec<usize>> = Vec::with_capacity(k);
+    let base = m / k;
+    let extra = m % k;
+    let mut cursor = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < extra);
+        clusters.push(by_time[cursor..cursor + len].to_vec());
+        cursor += len;
+    }
+    clusters.retain(|c| !c.is_empty());
+
+    let mut best_order: Option<Vec<usize>> = None;
+    let mut best_makespan = f64::INFINITY;
+    for perm in permutations(clusters.len()) {
+        let order: Vec<usize> = perm
+            .iter()
+            .flat_map(|&ci| clusters[ci].iter().copied())
+            .collect();
+        let selected = input.select(&order);
+        let schedule = adaptive_schedule(&selected);
+        let Ok(tl) = evaluate_schedule(&schedule, &selected) else {
+            continue;
+        };
+        if tl.times.makespan < best_makespan {
+            best_makespan = tl.times.makespan;
+            best_order = Some(order);
+        }
+    }
+    (
+        best_order.unwrap_or_else(|| (0..m).collect()),
+        best_makespan,
+    )
+}
+
+/// All permutations of `0..n` (n ≤ 4 in practice: at most 24).
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut items: Vec<usize> = (0..n).collect();
+    heap_permute(&mut items, n, &mut out);
+    out
+}
+
+fn heap_permute(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+    if k <= 1 {
+        out.push(items.clone());
+        return;
+    }
+    for i in 0..k {
+        heap_permute(items, k - 1, out);
+        if k.is_multiple_of(2) {
+            items.swap(i, k - 1);
+        } else {
+            items.swap(0, k - 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn variable_input(m: usize, c: usize) -> ScheduleInput {
+        let mut input = ScheduleInput::uniform(m, c, 10.0, 20.0, 1);
+        for i in 0..m {
+            let scale = 0.3 + 1.7 * ((i * 7919) % 10) as f64 / 10.0;
+            for j in 0..c {
+                input.fwd[i][j] *= scale;
+                input.bwd[i][j] *= scale;
+            }
+        }
+        input
+    }
+
+    #[test]
+    fn reorder_returns_a_permutation() {
+        let input = variable_input(12, 4);
+        let (order, makespan) = reorder_micro_batches(&input, &ReorderConfig::default());
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..12).collect::<Vec<_>>());
+        assert!(makespan.is_finite() && makespan > 0.0);
+    }
+
+    #[test]
+    fn reorder_no_worse_than_identity() {
+        let input = variable_input(16, 4);
+        let (_, reordered) = reorder_micro_batches(&input, &ReorderConfig::default());
+        let identity = evaluate_schedule(&adaptive_schedule(&input), &input)
+            .unwrap()
+            .times
+            .makespan;
+        assert!(
+            reordered <= identity + 1e-9,
+            "reordered {reordered} vs identity {identity}"
+        );
+    }
+
+    #[test]
+    fn single_cluster_is_time_sorted_order() {
+        let input = variable_input(8, 2);
+        let cfg = ReorderConfig { num_clusters: 1 };
+        let (order, _) = reorder_micro_batches(&input, &cfg);
+        assert!(order
+            .windows(2)
+            .all(|w| input.mb_time(w[0]) <= input.mb_time(w[1]) + 1e-9));
+    }
+
+    #[test]
+    fn empty_input() {
+        let input = ScheduleInput::uniform(0, 2, 1.0, 1.0, 1);
+        let (order, makespan) = reorder_micro_batches(&input, &ReorderConfig::default());
+        assert!(order.is_empty());
+        assert_eq!(makespan, 0.0);
+    }
+
+    #[test]
+    fn permutations_count() {
+        assert_eq!(permutations(1).len(), 1);
+        assert_eq!(permutations(3).len(), 6);
+        assert_eq!(permutations(4).len(), 24);
+        // Each permutation is distinct.
+        let mut p = permutations(4);
+        p.sort();
+        p.dedup();
+        assert_eq!(p.len(), 24);
+    }
+
+    #[test]
+    fn more_clusters_never_fewer_than_requested() {
+        let input = variable_input(2, 2);
+        let cfg = ReorderConfig { num_clusters: 4 };
+        let (order, _) = reorder_micro_batches(&input, &cfg);
+        assert_eq!(order.len(), 2, "clusters capped at m");
+    }
+}

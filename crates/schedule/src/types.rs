@@ -1,0 +1,264 @@
+//! Schedule representation and scheduler inputs.
+
+use dynapipe_model::{Bytes, Micros};
+use serde::{Deserialize, Serialize};
+
+/// One scheduled operation: a forward or backward pass of a micro-batch on
+/// the device owning the order it appears in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ScheduledOp {
+    /// Micro-batch index.
+    pub mb: usize,
+    /// True for the backward pass.
+    pub backward: bool,
+}
+
+impl ScheduledOp {
+    /// A forward op.
+    pub fn fwd(mb: usize) -> Self {
+        ScheduledOp {
+            mb,
+            backward: false,
+        }
+    }
+
+    /// A backward op.
+    pub fn bwd(mb: usize) -> Self {
+        ScheduledOp { mb, backward: true }
+    }
+}
+
+/// A complete pipeline schedule: per-device op orders.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// `orders[j]` is device `j`'s execution order.
+    pub orders: Vec<Vec<ScheduledOp>>,
+}
+
+impl Schedule {
+    /// Number of devices (stages).
+    pub fn num_stages(&self) -> usize {
+        self.orders.len()
+    }
+
+    /// Validate completeness: every micro-batch appears exactly once
+    /// forward and once backward on every device, and within each device
+    /// each micro-batch's forward precedes its backward.
+    pub fn validate(&self, num_micro_batches: usize) -> Result<(), String> {
+        for (j, order) in self.orders.iter().enumerate() {
+            if order.len() != 2 * num_micro_batches {
+                return Err(format!(
+                    "device {j}: {} ops, expected {}",
+                    order.len(),
+                    2 * num_micro_batches
+                ));
+            }
+            let mut fwd_pos = vec![usize::MAX; num_micro_batches];
+            let mut bwd_pos = vec![usize::MAX; num_micro_batches];
+            for (pos, op) in order.iter().enumerate() {
+                if op.mb >= num_micro_batches {
+                    return Err(format!("device {j}: micro-batch {} out of range", op.mb));
+                }
+                let slot = if op.backward {
+                    &mut bwd_pos
+                } else {
+                    &mut fwd_pos
+                };
+                if slot[op.mb] != usize::MAX {
+                    return Err(format!(
+                        "device {j}: duplicate {} of micro-batch {}",
+                        if op.backward { "backward" } else { "forward" },
+                        op.mb
+                    ));
+                }
+                slot[op.mb] = pos;
+            }
+            for mb in 0..num_micro_batches {
+                if fwd_pos[mb] == usize::MAX || bwd_pos[mb] == usize::MAX {
+                    return Err(format!("device {j}: micro-batch {mb} missing a pass"));
+                }
+                if fwd_pos[mb] > bwd_pos[mb] {
+                    return Err(format!(
+                        "device {j}: backward of micro-batch {mb} precedes its forward"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Peak activation memory per device implied by the schedule order:
+    /// `act[mb][j]` bytes are held from micro-batch `mb`'s forward until its
+    /// backward on device `j`.
+    pub fn peak_memory(&self, act: &[Vec<Bytes>]) -> Vec<Bytes> {
+        self.orders
+            .iter()
+            .enumerate()
+            .map(|(j, order)| {
+                let mut cur: Bytes = 0;
+                let mut peak: Bytes = 0;
+                for op in order {
+                    if op.backward {
+                        cur = cur.saturating_sub(act[op.mb][j]);
+                    } else {
+                        cur += act[op.mb][j];
+                        peak = peak.max(cur);
+                    }
+                }
+                peak
+            })
+            .collect()
+    }
+}
+
+/// Inputs to the schedulers: per-micro-batch, per-stage costs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleInput {
+    /// `fwd[mb][stage]`: forward time (µs).
+    pub fwd: Vec<Vec<Micros>>,
+    /// `bwd[mb][stage]`: backward time (µs).
+    pub bwd: Vec<Vec<Micros>>,
+    /// `act[mb][stage]`: activation bytes held between the passes.
+    pub act: Vec<Vec<Bytes>>,
+    /// Per-device activation budgets.
+    pub mem_limit: Vec<Bytes>,
+    /// Communication delay when a micro-batch crosses the boundary after
+    /// each stage (same both directions); empty means zero.
+    pub comm: Vec<Vec<Micros>>,
+}
+
+impl ScheduleInput {
+    /// Uniform input: `m` micro-batches on `c` stages, each pass taking
+    /// `fwd_t`/`bwd_t` µs and holding `act` bytes; unlimited memory.
+    pub fn uniform(m: usize, c: usize, fwd_t: Micros, bwd_t: Micros, act: Bytes) -> Self {
+        ScheduleInput {
+            fwd: vec![vec![fwd_t; c]; m],
+            bwd: vec![vec![bwd_t; c]; m],
+            act: vec![vec![act; c]; m],
+            mem_limit: vec![Bytes::MAX / 4; c],
+            comm: Vec::new(),
+        }
+    }
+
+    /// Number of micro-batches.
+    pub fn num_micro_batches(&self) -> usize {
+        self.fwd.len()
+    }
+
+    /// Number of stages.
+    pub fn num_stages(&self) -> usize {
+        self.mem_limit.len()
+    }
+
+    /// Total execution time `t(M) = t_f + t_b` of micro-batch `mb` on its
+    /// bottleneck stage.
+    pub fn mb_time(&self, mb: usize) -> Micros {
+        (0..self.num_stages())
+            .map(|j| self.fwd[mb][j] + self.bwd[mb][j])
+            .fold(0.0, f64::max)
+    }
+
+    /// Communication delay after stage `j` for micro-batch `mb`.
+    pub fn comm_delay(&self, mb: usize, j: usize) -> Micros {
+        self.comm
+            .get(mb)
+            .and_then(|r| r.get(j))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Restrict to a subset/permutation of micro-batches (used by the
+    /// reordering search and data-parallel replica assignment).
+    pub fn select(&self, order: &[usize]) -> ScheduleInput {
+        ScheduleInput {
+            fwd: order.iter().map(|&i| self.fwd[i].clone()).collect(),
+            bwd: order.iter().map(|&i| self.bwd[i].clone()).collect(),
+            act: order.iter().map(|&i| self.act[i].clone()).collect(),
+            mem_limit: self.mem_limit.clone(),
+            comm: if self.comm.is_empty() {
+                Vec::new()
+            } else {
+                order.iter().map(|&i| self.comm[i].clone()).collect()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_simple_schedule() {
+        let s = Schedule {
+            orders: vec![vec![
+                ScheduledOp::fwd(0),
+                ScheduledOp::fwd(1),
+                ScheduledOp::bwd(0),
+                ScheduledOp::bwd(1),
+            ]],
+        };
+        assert!(s.validate(2).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_missing_and_misordered() {
+        let missing = Schedule {
+            orders: vec![vec![ScheduledOp::fwd(0), ScheduledOp::bwd(0)]],
+        };
+        assert!(missing.validate(2).is_err());
+        let misordered = Schedule {
+            orders: vec![vec![
+                ScheduledOp::bwd(0),
+                ScheduledOp::fwd(0),
+                ScheduledOp::fwd(1),
+                ScheduledOp::bwd(1),
+            ]],
+        };
+        assert!(misordered.validate(2).is_err());
+    }
+
+    #[test]
+    fn peak_memory_tracks_overlap() {
+        // fwd0, fwd1, bwd0, bwd1: two activations live at once.
+        let s = Schedule {
+            orders: vec![vec![
+                ScheduledOp::fwd(0),
+                ScheduledOp::fwd(1),
+                ScheduledOp::bwd(0),
+                ScheduledOp::bwd(1),
+            ]],
+        };
+        let act = vec![vec![100], vec![150]];
+        assert_eq!(s.peak_memory(&act), vec![250]);
+        // Interleaved: fwd0, bwd0, fwd1, bwd1 holds one at a time.
+        let s2 = Schedule {
+            orders: vec![vec![
+                ScheduledOp::fwd(0),
+                ScheduledOp::bwd(0),
+                ScheduledOp::fwd(1),
+                ScheduledOp::bwd(1),
+            ]],
+        };
+        assert_eq!(s2.peak_memory(&act), vec![150]);
+    }
+
+    #[test]
+    fn uniform_input_shapes() {
+        let inp = ScheduleInput::uniform(4, 3, 10.0, 20.0, 1000);
+        assert_eq!(inp.num_micro_batches(), 4);
+        assert_eq!(inp.num_stages(), 3);
+        assert_eq!(inp.mb_time(2), 30.0);
+        assert_eq!(inp.comm_delay(0, 1), 0.0);
+    }
+
+    #[test]
+    fn select_permutes() {
+        let mut inp = ScheduleInput::uniform(3, 2, 1.0, 2.0, 10);
+        inp.fwd[2] = vec![9.0, 9.0];
+        let sel = inp.select(&[2, 0]);
+        assert_eq!(sel.num_micro_batches(), 2);
+        assert_eq!(sel.fwd[0][0], 9.0);
+        assert_eq!(sel.fwd[1][0], 1.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Discrete-event simulator of a multi-GPU training cluster.
+//!
+//! This crate is the reproduction's hardware substrate: it plays the role of
+//! the paper's 4×p4d testbed. Each simulated device executes a sequential
+//! program of [`op::SimOp`]s — compute ops with durations and activation
+//! allocations, asynchronous communication starts, and waits — the same
+//! structure as DynaPipe's pipeline-instruction streams.
+//!
+//! Fidelity choices that matter for the paper's claims:
+//!
+//! * **Ordered point-to-point channels** ([`channel`]): every device pair
+//!   shares one NCCL-like channel; each side's communication ops must match
+//!   the peer's in order, and only one transfer per pair is in flight. A
+//!   mis-ordered plan (the naive send-on-produce / recv-on-use schedule of
+//!   §2.3) therefore *actually deadlocks*, which the engine detects and
+//!   reports — this is the property DynaPipe's communication planner (§6)
+//!   exists to guarantee.
+//! * **Async communication streams**: `…Start` ops post without blocking and
+//!   `Wait` ops insert the dependency, mirroring the paper's split of each
+//!   communication into Start/Wait instruction pairs.
+//! * **Memory accounting** ([`memory`]): compute ops allocate activation
+//!   buffers freed by their matching backward ops; exceeding the device
+//!   limit is an OOM, exactly the failure mode the memory-aware schedule
+//!   must avoid.
+//! * **Execution-time jitter** ([`engine::JitterConfig`]): deterministic,
+//!   seedable noise on compute durations reproduces the variance study of
+//!   Fig. 7 and opens the estimate-vs-measurement gap of Fig. 18.
+//! * **Caching-allocator model** ([`memory::CachingAllocator`]): dynamic
+//!   tensor shapes cause cache misses and blocking frees (§7); the
+//!   pre-pooled mode removes them, giving the ablation for DynaPipe's
+//!   allocator optimization.
+
+pub mod channel;
+pub mod engine;
+pub mod memory;
+pub mod op;
+pub mod trace;
+
+pub use engine::{Engine, EngineConfig, JitterConfig, SimError, SimResult};
+pub use memory::{AllocatorMode, AllocatorStats, CachingAllocator, MemoryTracker};
+pub use op::{AllocSpec, CommDir, DeviceProgram, OpLabel, SimOp};
+pub use trace::{TraceEvent, TraceKind};

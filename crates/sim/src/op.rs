@@ -1,0 +1,291 @@
+//! The simulator's operation set: what a device program is made of.
+//!
+//! The planner side of the reproduction (dynapipe-comm) compiles pipeline
+//! instructions into these lower-level ops; keeping them generic (durations
+//! and byte counts, no model knowledge) keeps the simulator a pure
+//! substrate, the way Megatron/PyTorch are to the paper's executors.
+
+use dynapipe_model::{Bytes, Micros};
+use serde::{Deserialize, Serialize};
+
+/// Identifies an activation buffer across ops (alloc in forward, free in
+/// backward). Chosen by the plan compiler; unique per device.
+pub type AllocId = u64;
+
+/// Tag correlating a communication Start with its Wait and with the peer's
+/// matching operation. Unique per (device pair, transfer).
+pub type CommTag = u64;
+
+/// Human-meaningful label carried through to traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OpLabel {
+    /// Micro-batch index this op belongs to.
+    pub micro_batch: u32,
+    /// Pipeline stage executing the op.
+    pub stage: u32,
+    /// True for backward-direction work.
+    pub is_backward: bool,
+}
+
+impl OpLabel {
+    /// Label for micro-batch `mb` on stage `stage`.
+    pub fn new(micro_batch: u32, stage: u32, is_backward: bool) -> Self {
+        OpLabel {
+            micro_batch,
+            stage,
+            is_backward,
+        }
+    }
+}
+
+/// Direction of a communication op relative to the issuing device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommDir {
+    /// This device sends to the peer.
+    Send,
+    /// This device receives from the peer.
+    Recv,
+}
+
+/// An activation allocation performed by a compute op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocSpec {
+    /// Buffer identity (freed later by id).
+    pub id: AllocId,
+    /// Buffer size.
+    pub bytes: Bytes,
+}
+
+/// One operation in a device's sequential program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SimOp {
+    /// Run on the compute stream for `duration` µs.
+    ///
+    /// Buffers in `allocs` are acquired when the op starts (stalling by the
+    /// allocator's cost, and failing the simulation on OOM); buffers in
+    /// `frees` are released when it finishes.
+    Compute {
+        /// Planned duration (jitter may perturb it).
+        duration: Micros,
+        /// Activation buffers acquired at start.
+        allocs: Vec<AllocSpec>,
+        /// Activation buffers released at end.
+        frees: Vec<AllocId>,
+        /// Trace label.
+        label: OpLabel,
+    },
+    /// Post a communication with `peer` onto the pair's channel and return
+    /// immediately (asynchronous Start instruction).
+    CommStart {
+        /// The remote device id.
+        peer: usize,
+        /// Send or receive, from this device's perspective.
+        dir: CommDir,
+        /// Payload size; both sides must agree.
+        bytes: Bytes,
+        /// Correlation tag; both sides must agree.
+        tag: CommTag,
+        /// Trace label.
+        label: OpLabel,
+    },
+    /// Block the compute stream until the communication with `tag`
+    /// (previously posted by this device) has completed.
+    CommWait {
+        /// Tag of the communication to wait for.
+        tag: CommTag,
+        /// Trace label.
+        label: OpLabel,
+    },
+}
+
+impl SimOp {
+    /// The trace label of this op.
+    pub fn label(&self) -> OpLabel {
+        match self {
+            SimOp::Compute { label, .. }
+            | SimOp::CommStart { label, .. }
+            | SimOp::CommWait { label, .. } => *label,
+        }
+    }
+
+    /// Convenience constructor for a compute op with no memory effects.
+    pub fn compute(duration: Micros, label: OpLabel) -> Self {
+        SimOp::Compute {
+            duration,
+            allocs: Vec::new(),
+            frees: Vec::new(),
+            label,
+        }
+    }
+}
+
+/// A complete program for one device.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProgram {
+    /// Ops in execution order.
+    pub ops: Vec<SimOp>,
+}
+
+impl DeviceProgram {
+    /// Empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an op.
+    pub fn push(&mut self, op: SimOp) {
+        self.ops.push(op);
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program has no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total planned compute time (ignores communication and stalls).
+    pub fn planned_compute_time(&self) -> Micros {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                SimOp::Compute { duration, .. } => *duration,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Validate internal consistency: every `CommWait` tag has a prior
+    /// `CommStart` on this device, no alloc id is freed before allocation
+    /// or allocated twice.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut started: std::collections::HashSet<CommTag> = Default::default();
+        let mut live: std::collections::HashSet<AllocId> = Default::default();
+        for (i, op) in self.ops.iter().enumerate() {
+            match op {
+                SimOp::CommStart { tag, .. } => {
+                    if !started.insert(*tag) {
+                        return Err(format!("op {i}: tag {tag} started twice"));
+                    }
+                }
+                SimOp::CommWait { tag, .. } => {
+                    if !started.contains(tag) {
+                        return Err(format!("op {i}: wait on unposted tag {tag}"));
+                    }
+                }
+                SimOp::Compute { allocs, frees, .. } => {
+                    for a in allocs {
+                        if !live.insert(a.id) {
+                            return Err(format!("op {i}: alloc id {} reused", a.id));
+                        }
+                    }
+                    for f in frees {
+                        if !live.remove(f) {
+                            return Err(format!("op {i}: free of dead id {f}"));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lbl() -> OpLabel {
+        OpLabel::new(0, 0, false)
+    }
+
+    #[test]
+    fn validate_accepts_wellformed_program() {
+        let mut p = DeviceProgram::new();
+        p.push(SimOp::Compute {
+            duration: 10.0,
+            allocs: vec![AllocSpec { id: 1, bytes: 100 }],
+            frees: vec![],
+            label: lbl(),
+        });
+        p.push(SimOp::CommStart {
+            peer: 1,
+            dir: CommDir::Send,
+            bytes: 64,
+            tag: 7,
+            label: lbl(),
+        });
+        p.push(SimOp::CommWait {
+            tag: 7,
+            label: lbl(),
+        });
+        p.push(SimOp::Compute {
+            duration: 5.0,
+            allocs: vec![],
+            frees: vec![1],
+            label: lbl(),
+        });
+        assert!(p.validate().is_ok());
+        assert_eq!(p.planned_compute_time(), 15.0);
+    }
+
+    #[test]
+    fn validate_rejects_wait_before_start() {
+        let mut p = DeviceProgram::new();
+        p.push(SimOp::CommWait {
+            tag: 3,
+            label: lbl(),
+        });
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_double_alloc_and_dead_free() {
+        let mut p = DeviceProgram::new();
+        p.push(SimOp::Compute {
+            duration: 1.0,
+            allocs: vec![AllocSpec { id: 9, bytes: 10 }],
+            frees: vec![],
+            label: lbl(),
+        });
+        p.push(SimOp::Compute {
+            duration: 1.0,
+            allocs: vec![AllocSpec { id: 9, bytes: 10 }],
+            frees: vec![],
+            label: lbl(),
+        });
+        assert!(p.validate().is_err());
+
+        let mut q = DeviceProgram::new();
+        q.push(SimOp::Compute {
+            duration: 1.0,
+            allocs: vec![],
+            frees: vec![4],
+            label: lbl(),
+        });
+        assert!(q.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_tag() {
+        let mut p = DeviceProgram::new();
+        p.push(SimOp::CommStart {
+            peer: 1,
+            dir: CommDir::Send,
+            bytes: 1,
+            tag: 5,
+            label: lbl(),
+        });
+        p.push(SimOp::CommStart {
+            peer: 2,
+            dir: CommDir::Recv,
+            bytes: 1,
+            tag: 5,
+            label: lbl(),
+        });
+        assert!(p.validate().is_err());
+    }
+}

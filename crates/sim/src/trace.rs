@@ -1,0 +1,185 @@
+//! Execution traces: what happened when, for tests, debugging and the
+//! schedule visualizations (paper Figs. 6, 8 and 11).
+
+use crate::op::OpLabel;
+use dynapipe_model::Micros;
+use serde::{Deserialize, Serialize};
+
+/// What a trace interval represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// Forward compute of a micro-batch on a device.
+    Forward,
+    /// Backward compute of a micro-batch on a device.
+    Backward,
+    /// A point-to-point transfer between two devices.
+    Transfer,
+    /// Allocator stall charged to a compute op.
+    AllocStall,
+}
+
+/// One interval in the execution trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Executing device (for transfers, the sender).
+    pub device: usize,
+    /// Peer device for transfers; `usize::MAX` otherwise.
+    pub peer: usize,
+    /// Kind of interval.
+    pub kind: TraceKind,
+    /// Label (micro-batch, stage, direction).
+    pub label: OpLabel,
+    /// Start time (µs).
+    pub start: Micros,
+    /// End time (µs).
+    pub end: Micros,
+}
+
+impl TraceEvent {
+    /// Interval length.
+    pub fn duration(&self) -> Micros {
+        self.end - self.start
+    }
+}
+
+/// Render a compact ASCII Gantt chart of compute events, one row per
+/// device — a textual analogue of the paper's pipeline figures.
+///
+/// Each character cell covers `makespan / width` µs and is filled with the
+/// micro-batch index (mod 10) of the op occupying it; backward work is shown
+/// as letters (`a` = micro-batch 0). Idle cells are `.`.
+pub fn render_gantt(events: &[TraceEvent], num_devices: usize, width: usize) -> String {
+    let makespan = events.iter().map(|e| e.end).fold(0.0, f64::max);
+    if makespan <= 0.0 || width == 0 {
+        return String::new();
+    }
+    let cell = makespan / width as f64;
+    let mut rows = vec![vec!['.'; width]; num_devices];
+    for e in events {
+        if e.kind != TraceKind::Forward && e.kind != TraceKind::Backward {
+            continue;
+        }
+        let mb = (e.label.micro_batch % 10) as u8;
+        let ch = if e.kind == TraceKind::Forward {
+            (b'0' + mb) as char
+        } else {
+            (b'a' + mb) as char
+        };
+        let from = (e.start / cell) as usize;
+        let to = ((e.end / cell).ceil() as usize).min(width);
+        for c in rows[e.device].iter_mut().take(to).skip(from) {
+            *c = ch;
+        }
+    }
+    rows.into_iter()
+        .enumerate()
+        .map(|(d, row)| format!("dev{d}: {}", row.into_iter().collect::<String>()))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Export a trace to Chrome trace-event JSON (load in `chrome://tracing`
+/// or Perfetto). Devices become process rows; forward, backward, allocator
+/// stalls and transfers get distinct names, with micro-batch ids as
+/// arguments.
+pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::from("[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let name = match e.kind {
+            TraceKind::Forward => format!("fwd mb{}", e.label.micro_batch),
+            TraceKind::Backward => format!("bwd mb{}", e.label.micro_batch),
+            TraceKind::Transfer => format!("xfer tag{} -> dev{}", e.label.micro_batch, e.peer),
+            TraceKind::AllocStall => "alloc stall".to_string(),
+        };
+        let cat = match e.kind {
+            TraceKind::Forward | TraceKind::Backward => "compute",
+            TraceKind::Transfer => "comm",
+            TraceKind::AllocStall => "alloc",
+        };
+        // Complete ("X") events: timestamps and durations in microseconds.
+        out.push_str(&format!(
+            "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"ts\":{:.3},\
+             \"dur\":{:.3},\"pid\":0,\"tid\":{},\"args\":{{\"mb\":{},\"stage\":{}}}}}",
+            e.start,
+            e.duration(),
+            e.device,
+            e.label.micro_batch,
+            e.label.stage
+        ));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(device: usize, kind: TraceKind, mb: u32, start: Micros, end: Micros) -> TraceEvent {
+        TraceEvent {
+            device,
+            peer: usize::MAX,
+            kind,
+            label: OpLabel::new(mb, device as u32, kind == TraceKind::Backward),
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn gantt_renders_forward_and_backward_distinctly() {
+        let events = vec![
+            ev(0, TraceKind::Forward, 0, 0.0, 50.0),
+            ev(0, TraceKind::Backward, 0, 50.0, 100.0),
+            ev(1, TraceKind::Forward, 1, 25.0, 75.0),
+        ];
+        let g = render_gantt(&events, 2, 20);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('0'));
+        assert!(lines[0].contains('a'));
+        assert!(lines[1].contains('1'));
+    }
+
+    #[test]
+    fn gantt_empty_for_no_events() {
+        assert_eq!(render_gantt(&[], 2, 10), "");
+    }
+
+    #[test]
+    fn duration_is_end_minus_start() {
+        assert_eq!(ev(0, TraceKind::Forward, 0, 10.0, 35.0).duration(), 25.0);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_one_entry_per_event() {
+        let events = vec![
+            ev(0, TraceKind::Forward, 3, 0.0, 50.0),
+            ev(1, TraceKind::Backward, 3, 60.0, 100.0),
+            TraceEvent {
+                device: 0,
+                peer: 1,
+                kind: TraceKind::Transfer,
+                label: OpLabel::new(7, 0, false),
+                start: 50.0,
+                end: 55.0,
+            },
+        ];
+        let json = to_chrome_trace(&events);
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let arr = parsed.as_array().expect("array");
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[0]["ph"], "X");
+        assert_eq!(arr[0]["tid"], 0);
+        assert_eq!(arr[1]["tid"], 1);
+        assert!(arr[2]["name"].as_str().unwrap().contains("xfer"));
+    }
+
+    #[test]
+    fn chrome_trace_empty() {
+        assert_eq!(to_chrome_trace(&[]), "[]");
+    }
+}

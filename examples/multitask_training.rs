@@ -1,0 +1,109 @@
+//! Multi-task training comparison: DynaPipe vs the packing baseline.
+//!
+//! A miniature of the paper's headline experiment (Fig. 13): train GPT and
+//! T5 on a FLANv2-like mixture at several maximum sequence lengths and
+//! compare the training throughput of DynaPipe's dynamic micro-batching
+//! against packing (MLM+DS) and token-based micro-batching, all on the same
+//! simulated cluster.
+//!
+//! Run with: `cargo run --release --example multitask_training`
+
+use dynapipe_repro::prelude::*;
+use std::sync::Arc;
+
+fn run_one(
+    cm: &Arc<CostModel>,
+    dataset: &Dataset,
+    msl: usize,
+    planner: &dyn IterationPlanner,
+) -> Option<f64> {
+    let gbs = GlobalBatchConfig {
+        tokens_per_batch: 65536,
+        max_seq_len: msl,
+    };
+    let run = RunConfig {
+        max_iterations: Some(4),
+        ..Default::default()
+    };
+    let report = run_training(planner, dataset, gbs, run);
+    let _ = cm;
+    report.feasible().then(|| report.throughput())
+}
+
+fn main() {
+    let hw = HardwareModel::a100_cluster();
+    let dataset = Dataset::flanv2(7, 4_000);
+
+    for (name, model, parallel) in [
+        (
+            "GPT-3.35B (pp=4)",
+            ModelConfig::gpt_3_35b(),
+            ParallelConfig::new(1, 1, 4),
+        ),
+        (
+            "T5-11B (tp=4, pp=2)",
+            ModelConfig::t5_11b(),
+            ParallelConfig::new(1, 4, 2),
+        ),
+    ] {
+        println!("=== {name} ===");
+        println!(
+            "{:>8} | {:>12} | {:>12} | {:>12} | {:>7}",
+            "max len", "DynaPipe t/s", "packing t/s", "token-based", "speedup"
+        );
+        for msl in [512usize, 1024, 2048, 4096] {
+            let cm = Arc::new(CostModel::build(
+                hw.clone(),
+                model,
+                parallel,
+                &ProfileOptions::coarse(),
+            ));
+            if !cm.is_feasible() {
+                println!("{msl:>8} | deployment infeasible (model state exceeds memory)");
+                continue;
+            }
+            let dyna = DynaPipePlanner::new(cm.clone(), PlannerConfig::default());
+            let dyna_tps = run_one(&cm, &dataset, msl, &dyna);
+
+            let packing = BaselinePlanner::new(
+                cm.clone(),
+                BaselineKind::Packing {
+                    max_seq_len: msl,
+                    max_target_len: (msl / 4).max(64),
+                    mb_size: 1,
+                },
+            );
+            let pack_tps = run_one(&cm, &dataset, msl, &packing);
+
+            let tb = BaselinePlanner::new(
+                cm.clone(),
+                BaselineKind::TokenBased {
+                    token_budget: 4096,
+                    ordering: dynapipe_repro::batcher::OrderingStrategy::Sort,
+                },
+            );
+            let tb_tps = run_one(&cm, &dataset, msl, &tb);
+
+            let fmt = |x: Option<f64>| match x {
+                Some(v) => format!("{v:12.0}"),
+                None => format!("{:>12}", "OOM"),
+            };
+            let speedup = match (dyna_tps, pack_tps) {
+                (Some(d), Some(p)) if p > 0.0 => format!("{:6.2}x", d / p),
+                _ => "    n/a".to_string(),
+            };
+            println!(
+                "{msl:>8} | {} | {} | {} | {speedup}",
+                fmt(dyna_tps),
+                fmt(pack_tps),
+                fmt(tb_tps)
+            );
+        }
+        println!();
+    }
+    println!(
+        "Expected shape (paper Fig. 13): packing throughput decays quickly as the\n\
+         maximum sequence length grows (quadratic attention over packed sequences),\n\
+         while DynaPipe follows the data's average length and decays slowly."
+    );
+}

@@ -1,0 +1,88 @@
+//! Quickstart: plan and simulate a few DynaPipe training iterations.
+//!
+//! Builds a 4-stage GPT-3.35B pipeline on simulated A100s, trains on a
+//! FLANv2-like multi-task mixture for a handful of iterations, and prints
+//! the metrics the paper reports: throughput (non-padding tokens/s),
+//! padding efficiency, planning time, and cost-model accuracy.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dynapipe_repro::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // 1. Deployment: GPT-3.35B over 4 pipeline stages (Table 1's 4-GPU row).
+    let hw = HardwareModel::a100_cluster();
+    let parallel = ParallelConfig::new(1, 1, 4);
+    println!("building cost model (profiling the hardware model) ...");
+    let cm = Arc::new(CostModel::build(
+        hw,
+        ModelConfig::gpt_3_35b(),
+        parallel,
+        &ProfileOptions::default(),
+    ));
+    println!(
+        "  model: GPT {:.2}B params, {} stages, activation budget {:.1} GB/stage",
+        cm.model.total_params_b(),
+        cm.num_stages(),
+        cm.min_activation_budget() as f64 / 1e9,
+    );
+
+    // 2. Data: down-sampled FLANv2-like mixture.
+    let dataset = Dataset::flanv2(42, 3_000);
+    let stats = dataset.input_stats();
+    println!(
+        "  dataset: {} samples, input length mean {:.0} / p50 {} / max {}",
+        dataset.len(),
+        stats.mean,
+        stats.p50,
+        stats.max
+    );
+
+    // 3. Train a few iterations with the full DynaPipe pipeline:
+    //    DP micro-batching -> adaptive schedule -> planned communication.
+    let planner = DynaPipePlanner::new(cm, PlannerConfig::default());
+    let gbs = GlobalBatchConfig {
+        tokens_per_batch: 65536,
+        max_seq_len: 2048,
+    };
+    let run = RunConfig {
+        max_iterations: Some(5),
+        ..Default::default()
+    };
+    println!("\nplanning + simulating 5 iterations (GBS 65536 tokens, msl 2048) ...");
+    let report = run_training(&planner, &dataset, gbs, run);
+
+    match &report.failure {
+        None => println!("  all iterations feasible"),
+        Some(f) => println!("  run stopped early: {f}"),
+    }
+    for (i, r) in report.records.iter().enumerate() {
+        println!(
+            "  iter {i}: {:3} micro-batches | est {:7.1} ms | measured {:7.1} ms | \
+             plan {:6.1} ms CPU | recompute={}",
+            r.num_micro_batches,
+            r.est_time / 1e3,
+            r.measured_time / 1e3,
+            r.planning_time_us / 1e3,
+            r.recompute,
+        );
+    }
+    println!("\nresults:");
+    println!(
+        "  throughput          : {:>10.0} tokens/s",
+        report.throughput()
+    );
+    println!(
+        "  padding efficiency  : {:>10.3}",
+        report.padding.efficiency()
+    );
+    println!(
+        "  iteration-time MAPE : {:>9.1}% (paper Fig. 18a: ~4-11%)",
+        report.time_mape() * 100.0
+    );
+    println!(
+        "  peak-memory MAPE    : {:>9.1}% (paper Fig. 18b: <6%)",
+        report.memory_mape() * 100.0
+    );
+}

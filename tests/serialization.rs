@@ -1,0 +1,78 @@
+//! Serialization round-trips: execution plans travel through the
+//! distributed instruction store in the real system (§3), so every plan
+//! artifact must survive serde exactly.
+
+use dynapipe_repro::prelude::*;
+use std::sync::Arc;
+
+fn plan_one() -> (Arc<CostModel>, dynapipe_core::IterationPlan) {
+    let cm = Arc::new(CostModel::build(
+        HardwareModel::a100_cluster(),
+        ModelConfig::gpt_3_35b(),
+        ParallelConfig::new(1, 1, 4),
+        &ProfileOptions::coarse(),
+    ));
+    let planner = DynaPipePlanner::new(cm.clone(), PlannerConfig::default());
+    let minibatch: Vec<Sample> = Dataset::flanv2(71, 300)
+        .samples
+        .iter()
+        .take(32)
+        .map(|s| s.truncated(1024))
+        .collect();
+    let plan = planner.plan_iteration(&minibatch).expect("feasible");
+    (cm, plan)
+}
+
+#[test]
+fn execution_plan_json_roundtrip() {
+    let (_, plan) = plan_one();
+    for replica in &plan.replicas {
+        let json = serde_json::to_string(&replica.plan).expect("serialize");
+        let back: ExecutionPlan = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, replica.plan);
+        // A deserialized plan verifies and validates like the original.
+        back.validate().expect("valid");
+        verify_deadlock_free(&back).expect("deadlock-free");
+    }
+}
+
+#[test]
+fn deserialized_plan_simulates_identically() {
+    let (cm, plan) = plan_one();
+    let replica = &plan.replicas[0];
+    let json = serde_json::to_string(&replica.plan).unwrap();
+    let back: ExecutionPlan = serde_json::from_str(&json).unwrap();
+    let run = |p: &ExecutionPlan| {
+        let programs = dynapipe_core::compile_replica(&cm, p);
+        let cfg = EngineConfig::unbounded(cm.hw.clone(), cm.num_stages());
+        Engine::new(cfg, programs).run().unwrap().makespan
+    };
+    assert_eq!(run(&replica.plan), run(&back));
+}
+
+#[test]
+fn schedule_and_shapes_roundtrip() {
+    let (_, plan) = plan_one();
+    let replica = &plan.replicas[0];
+    let json = serde_json::to_string(&replica.schedule).unwrap();
+    let back: Schedule = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, replica.schedule);
+    let shapes_json = serde_json::to_string(&replica.plan.shapes).unwrap();
+    let shapes: Vec<MicroBatchShape> = serde_json::from_str(&shapes_json).unwrap();
+    assert_eq!(shapes, replica.plan.shapes);
+}
+
+#[test]
+fn cost_model_roundtrips_and_answers_identically() {
+    let (cm, _) = plan_one();
+    let json = serde_json::to_string(&*cm).expect("cost models are persistable");
+    let back: CostModel = serde_json::from_str(&json).unwrap();
+    let shape = MicroBatchShape::gpt(4, 777);
+    for s in 0..cm.num_stages() {
+        assert_eq!(cm.stage_fwd(s, &shape), back.stage_fwd(s, &shape));
+        assert_eq!(
+            cm.stage_activation(s, &shape, RecomputeMode::Selective),
+            back.stage_activation(s, &shape, RecomputeMode::Selective)
+        );
+    }
+}
