@@ -9,6 +9,28 @@
 //! candidate `t_max` values sampled at a fixed resolution (the paper uses
 //! 5 µs).
 //!
+//! The slice table behind the recurrence is built in **two passes**:
+//!
+//! 1. a *mode-independent shape pass* ([`SliceShapes`]) computes, once per
+//!    mini-batch, the padded shape of every candidate slice (running max
+//!    extents over each window), deduplicated into a table of distinct
+//!    shapes — on sorted real-world batches most slices collapse onto a
+//!    few hundred distinct padded shapes;
+//! 2. a *mode-dependent cost pass* prices only the distinct shapes under a
+//!    given [`RecomputeMode`] and memory limit, then scatters the costs
+//!    back over the dense `(end, width)` grid.
+//!
+//! The §7 recompute sweep in the planner builds the shape pass once and
+//! re-prices it per mode, instead of recomputing shapes `|modes|` times.
+//!
+//! The outer `t_max` sweep runs its independent Eq. 2 solves on the rayon
+//! pool, in ascending candidate order, and exploits monotonicity for an
+//! exact early exit: the objective is bounded below by `(c-1)·t_max`, so
+//! once that ramp term alone reaches the best objective seen, no larger
+//! candidate can win and the sweep stops. Neither the parallelism nor the
+//! pruning changes which partition is selected; see
+//! [`Partitioner::partition_reference`] and the equivalence tests.
+//!
 //! Memory awareness: micro-batches whose estimated activation footprint
 //! exceeds the per-micro-batch limit are excluded from the recurrence, so
 //! the resulting plan observes the device budget under the target pipeline
@@ -19,7 +41,9 @@ use dynapipe_cost::CostModel;
 use dynapipe_data::Sample;
 use dynapipe_model::memory::RecomputeMode;
 use dynapipe_model::{Bytes, MicroBatchShape, Micros, ModelArch};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::ops::Range;
 
 /// Partitioner configuration.
@@ -87,49 +111,98 @@ pub struct Partitioner<'a> {
     config: DpConfig,
 }
 
-/// Per-(end, width) slice costs, stored densely for the DP inner loop.
-struct SliceTable {
-    /// `time[(j-1) * width + k]` = t(M over samples `j-1-k .. j`).
-    time: Vec<Micros>,
-    /// Whether the slice fits the memory limit.
-    feasible: Vec<bool>,
-    width: usize,
-    n: usize,
-}
+/// Sentinel shape id for dense cells outside the valid `(end, k)` domain.
+const NO_SHAPE: u32 = u32::MAX;
 
-impl SliceTable {
-    fn idx(&self, end: usize, k: usize) -> usize {
-        (end - 1) * self.width + k
-    }
-}
+/// Multiply-xor hasher for the shape-dedup map: the keys are already
+/// well-mixed packed integers, so SipHash's DoS resistance is wasted
+/// overhead in this hot loop.
+#[derive(Default)]
+struct PackedKeyHasher(u64);
 
-impl<'a> Partitioner<'a> {
-    /// Partitioner over `cm` with `config`.
-    pub fn new(cm: &'a CostModel, config: DpConfig) -> Self {
-        Partitioner { cm, config }
+impl std::hash::Hasher for PackedKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
     }
 
-    /// The padded shape of a contiguous slice of ordered samples.
-    fn slice_shape(arch: ModelArch, max_in: usize, max_tg: usize, len: usize) -> MicroBatchShape {
-        match arch {
-            ModelArch::Gpt => MicroBatchShape::gpt(len, (max_in + max_tg).max(1)),
-            ModelArch::T5 => MicroBatchShape::t5(len, max_in.max(1), max_tg.max(1)),
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
         }
     }
 
-    fn build_slice_table(&self, samples: &[Sample]) -> SliceTable {
+    fn write_u64(&mut self, x: u64) {
+        // splitmix64-style finalizer over the previous state.
+        let mut z = self.0 ^ x.wrapping_mul(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+type ShapeIdMap = HashMap<u64, u32, std::hash::BuildHasherDefault<PackedKeyHasher>>;
+
+/// Pack a padded shape into one u64 key (batch ≤ 2^16, lengths < 2^24).
+fn shape_key(shape: &MicroBatchShape) -> u64 {
+    debug_assert!(shape.batch_size < (1 << 16));
+    debug_assert!(shape.enc_len < (1 << 24) && shape.dec_len < (1 << 24));
+    (shape.batch_size as u64) | (shape.enc_len as u64) << 16 | (shape.dec_len as u64) << 40
+}
+
+/// The mode-independent pass over one ordered mini-batch: the padded shape
+/// of every candidate slice, stored as ids into a deduplicated shape table.
+///
+/// Shapes depend only on the sample lengths, the model architecture and
+/// the window width — not on the recomputation mode or memory limit — so
+/// one `SliceShapes` is shared across the whole §7 recompute-mode sweep
+/// (see [`Partitioner::shape_pass`] / [`Partitioner::partition_with_shapes`]).
+pub struct SliceShapes {
+    /// `cell[(end-1) * width + k]` = id of the padded shape of the slice
+    /// covering samples `end-1-k .. end`, or [`NO_SHAPE`] outside the
+    /// domain.
+    cell: Vec<u32>,
+    /// The distinct padded shapes referenced by `cell`.
+    distinct: Vec<MicroBatchShape>,
+    width: usize,
+    n: usize,
+    arch: ModelArch,
+}
+
+impl SliceShapes {
+    /// Build the shape pass for `samples` with micro-batches capped at
+    /// `max_mb_samples` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics (also in release builds) if the clamped window width
+    /// exceeds 65535 samples or any sample's input/target length reaches
+    /// 2^23 tokens (so GPT's combined input+target extent fits a 24-bit
+    /// key field) — the packed shape keys and `u16` window offsets would
+    /// otherwise truncate silently. Both are far beyond every real
+    /// configuration (the paper caps micro-batches at 256 samples).
+    pub fn build(arch: ModelArch, samples: &[Sample], max_mb_samples: usize) -> SliceShapes {
         let n = samples.len();
-        let width = self.config.max_mb_samples.min(n).max(1);
-        let arch = self.cm.model.arch;
-        let mut time = vec![f64::INFINITY; n * width];
-        let mut feasible = vec![false; n * width];
+        let width = max_mb_samples.min(n).max(1);
+        assert!(
+            width <= u16::MAX as usize,
+            "micro-batch window width {width} exceeds the supported 65535"
+        );
+        assert!(
+            samples
+                .iter()
+                .all(|s| s.input_len < (1 << 23) && s.target_len < (1 << 23)),
+            "sample lengths must stay below 2^23 tokens (so padded extents, \
+             including GPT's input+target, fit the 24-bit key fields)"
+        );
+        let mut cell = vec![NO_SHAPE; n * width];
+        let mut distinct: Vec<MicroBatchShape> = Vec::new();
+        let mut ids: ShapeIdMap = ShapeIdMap::default();
         for end in 1..=n {
             let mut max_in = 0usize;
             let mut max_tg = 0usize;
             for k in 0..width.min(end) {
                 let s = &samples[end - 1 - k];
                 // For GPT ordering, per-sample padding is on the combined
-                // length; track both extents and combine in `slice_shape`.
+                // length; track both extents and combine below.
                 match arch {
                     ModelArch::Gpt => {
                         max_in = max_in.max(s.gpt_len());
@@ -141,27 +214,228 @@ impl<'a> Partitioner<'a> {
                 }
                 let shape = match arch {
                     ModelArch::Gpt => MicroBatchShape::gpt(k + 1, max_in.max(1)),
-                    ModelArch::T5 => Self::slice_shape(arch, max_in, max_tg, k + 1),
+                    ModelArch::T5 => MicroBatchShape::t5(k + 1, max_in.max(1), max_tg.max(1)),
                 };
-                let idx = (end - 1) * width + k;
-                let mem = self.cm.mb_activation_max(&shape, self.config.recompute);
-                if mem <= self.config.mb_memory_limit {
-                    feasible[idx] = true;
-                    time[idx] = self.cm.mb_time(&shape, self.config.recompute);
+                let next_id = distinct.len() as u32;
+                let id = *ids.entry(shape_key(&shape)).or_insert(next_id);
+                if id == next_id {
+                    distinct.push(shape);
                 }
+                cell[(end - 1) * width + k] = id;
             }
         }
-        SliceTable {
-            time,
-            feasible,
+        SliceShapes {
+            cell,
+            distinct,
             width,
             n,
+            arch,
+        }
+    }
+
+    /// Number of samples the pass covers.
+    pub fn num_samples(&self) -> usize {
+        self.n
+    }
+
+    /// The DP window width (max samples per micro-batch, clamped).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of distinct padded slice shapes (the cost pass prices only
+    /// these).
+    pub fn num_distinct_shapes(&self) -> usize {
+        self.distinct.len()
+    }
+
+    /// The distinct padded slice shapes (for diagnostics and benches).
+    pub fn distinct_shapes(&self) -> &[MicroBatchShape] {
+        &self.distinct
+    }
+
+    /// The architecture the shapes were padded for.
+    pub fn arch(&self) -> ModelArch {
+        self.arch
+    }
+}
+
+/// Mode-independent forward times (`t_f`) per distinct slice shape — the
+/// second shareable table of the two-pass design. Forward cost does not
+/// depend on the recomputation mode, so the §7 sweep prices it once and
+/// each mode's cost pass only adds its backward + recompute half.
+pub struct SliceFwdCosts {
+    fwd: Vec<Micros>,
+}
+
+impl SliceFwdCosts {
+    /// Price the forward half of every distinct shape.
+    pub fn build(cm: &CostModel, shapes: &SliceShapes) -> SliceFwdCosts {
+        // Forward grids are identical across modes; `None` is arbitrary.
+        let pricer = cm.shape_pricer(RecomputeMode::None);
+        SliceFwdCosts {
+            fwd: shapes.distinct.iter().map(|s| pricer.mb_fwd(s)).collect(),
+        }
+    }
+}
+
+/// Per-(end, width) slice costs for one recomputation mode, stored densely
+/// for the DP inner loop — the output of the mode-dependent cost pass.
+struct SliceCosts {
+    /// `time[(j-1) * width + k]` = t(M over samples `j-1-k .. j`).
+    time: Vec<Micros>,
+    /// Whether the slice fits the memory limit.
+    feasible: Vec<bool>,
+    width: usize,
+    n: usize,
+}
+
+impl SliceCosts {
+    fn idx(&self, end: usize, k: usize) -> usize {
+        (end - 1) * self.width + k
+    }
+}
+
+/// Feasible slice cells re-indexed per DP row (`end`), sorted by
+/// `(time, k)`. A solve for bound `t_max` then visits only the prefix of
+/// each row with `time <= t_max` (found by binary search) instead of
+/// scanning the full window width — most candidates in the ascending
+/// sweep are small, so their solves touch a fraction of the table.
+struct RowIndex {
+    /// Slice times, rows concatenated, each row ascending.
+    times: Vec<Micros>,
+    /// Matching slice start positions.
+    starts: Vec<u32>,
+    /// Matching window offsets `k` (for the reference tie-break).
+    ks: Vec<u16>,
+    /// Row boundaries: row `end` occupies `offsets[end-1]..offsets[end]`.
+    offsets: Vec<u32>,
+}
+
+impl RowIndex {
+    fn build(table: &SliceCosts) -> RowIndex {
+        let n = table.n;
+        let mut times = Vec::new();
+        let mut starts = Vec::new();
+        let mut ks = Vec::new();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut row: Vec<(Micros, usize)> = Vec::with_capacity(table.width);
+        for end in 1..=n {
+            row.clear();
+            for k in 0..table.width.min(end) {
+                let idx = table.idx(end, k);
+                if table.feasible[idx] {
+                    row.push((table.time[idx], k));
+                }
+            }
+            // (time, k) order makes the per-row prefix-by-time contiguous
+            // while keeping the smallest-k tie-break reconstructible.
+            row.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            for &(t, k) in &row {
+                times.push(t);
+                starts.push((end - 1 - k) as u32);
+                ks.push(k as u16);
+            }
+            offsets.push(times.len() as u32);
+        }
+        RowIndex {
+            times,
+            starts,
+            ks,
+            offsets,
+        }
+    }
+
+    /// Eq. 2 over the row index for one `t_max`. Produces exactly the
+    /// result of [`Partitioner::solve_for_tmax`]: the same minimum and
+    /// the same back-pointers (ties broken toward the smallest `k`, which
+    /// is the dense scan's first-strict-improvement order).
+    fn solve(&self, n: usize, t_max: Micros) -> Option<(Micros, Vec<usize>)> {
+        let mut f = vec![f64::INFINITY; n + 1];
+        let mut back = vec![usize::MAX; n + 1];
+        f[0] = 0.0;
+        for end in 1..=n {
+            let lo = self.offsets[end - 1] as usize;
+            let hi = self.offsets[end] as usize;
+            let m = self.times[lo..hi].partition_point(|&t| t <= t_max);
+            let mut best = f64::INFINITY;
+            let mut best_k = usize::MAX;
+            let mut best_start = usize::MAX;
+            for j in lo..lo + m {
+                let start = self.starts[j] as usize;
+                let cand = f[start] + self.times[j];
+                let k = self.ks[j] as usize;
+                if cand < best || (cand == best && k < best_k) {
+                    best = cand;
+                    best_k = k;
+                    best_start = start;
+                }
+            }
+            if best.is_finite() {
+                f[end] = best;
+                back[end] = best_start;
+            }
+        }
+        if f[n].is_finite() {
+            Some((f[n], back))
+        } else {
+            None
+        }
+    }
+}
+
+impl<'a> Partitioner<'a> {
+    /// Partitioner over `cm` with `config`.
+    pub fn new(cm: &'a CostModel, config: DpConfig) -> Self {
+        Partitioner { cm, config }
+    }
+
+    /// Run the mode-independent shape pass for `ordered` samples. The
+    /// result can be shared across [`Partitioner::partition_with_shapes`]
+    /// calls with different recomputation modes or memory limits (but the
+    /// same ordered samples and `max_mb_samples`).
+    pub fn shape_pass(&self, ordered: &[Sample]) -> SliceShapes {
+        SliceShapes::build(self.cm.model.arch, ordered, self.config.max_mb_samples)
+    }
+
+    /// The mode-dependent cost pass: price each distinct shape once under
+    /// this partitioner's recompute mode and memory limit, then scatter
+    /// onto the dense grid. Pricing goes through
+    /// [`dynapipe_cost::ShapePricer`] — the cost model's resolved hot-loop
+    /// view, bit-identical to `mb_time`/`mb_activation_max` — and reuses
+    /// the shared mode-independent forward table, adding only this mode's
+    /// backward + recompute half (`t = t_f + t_b`, exactly Eq. 1's sum).
+    fn cost_pass(&self, shapes: &SliceShapes, fwd: &SliceFwdCosts) -> SliceCosts {
+        let limit = self.config.mb_memory_limit;
+        let pricer = self.cm.shape_pricer(self.config.recompute);
+        let mut shape_time = vec![f64::INFINITY; shapes.distinct.len()];
+        let mut shape_feasible = vec![false; shapes.distinct.len()];
+        for (i, shape) in shapes.distinct.iter().enumerate() {
+            if pricer.mb_activation_max(shape) <= limit {
+                shape_feasible[i] = true;
+                shape_time[i] = fwd.fwd[i] + pricer.mb_bwd(shape);
+            }
+        }
+        let mut time = vec![f64::INFINITY; shapes.cell.len()];
+        let mut feasible = vec![false; shapes.cell.len()];
+        for (idx, &id) in shapes.cell.iter().enumerate() {
+            if id != NO_SHAPE {
+                time[idx] = shape_time[id as usize];
+                feasible[idx] = shape_feasible[id as usize];
+            }
+        }
+        SliceCosts {
+            time,
+            feasible,
+            width: shapes.width,
+            n: shapes.n,
         }
     }
 
     /// Collect candidate `t_max` values: every feasible slice time, rounded
-    /// up to the configured resolution, deduplicated.
-    fn candidates(&self, table: &SliceTable) -> Vec<Micros> {
+    /// up to the configured resolution, deduplicated, ascending.
+    fn candidates(&self, table: &SliceCosts) -> Vec<Micros> {
         let mut res = self.config.tmax_resolution_us.max(1e-3);
         let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
         for (&t, &f) in table.time.iter().zip(&table.feasible) {
@@ -193,7 +467,7 @@ impl<'a> Partitioner<'a> {
 
     /// Run Eq. 2 for one `t_max`; returns (`f(N)`, split back-pointers) or
     /// `None` if no feasible partition exists under the bound.
-    fn solve_for_tmax(&self, table: &SliceTable, t_max: Micros) -> Option<(Micros, Vec<usize>)> {
+    fn solve_for_tmax(&self, table: &SliceCosts, t_max: Micros) -> Option<(Micros, Vec<usize>)> {
         let n = table.n;
         let mut f = vec![f64::INFINITY; n + 1];
         let mut back = vec![usize::MAX; n + 1];
@@ -235,41 +509,91 @@ impl<'a> Partitioner<'a> {
         ranges
     }
 
-    /// Partition `ordered` samples; `None` when no partition satisfies the
-    /// memory limit (e.g. a single sample's activation exceeds the budget).
-    pub fn partition(&self, ordered: &[Sample]) -> Option<PartitionResult> {
-        if ordered.is_empty() {
-            return Some(PartitionResult {
-                ranges: vec![],
-                micro_batches: vec![],
-                mb_times: vec![],
-                est_iteration_time: 0.0,
-                t_max: 0.0,
-            });
-        }
-        let table = self.build_slice_table(ordered);
-        let candidates = self.candidates(&table);
-        if candidates.is_empty() {
-            return None;
-        }
+    /// The outer `t_max` sweep: candidates ascending, Eq. 2 solves on the
+    /// row index run in parallel chunks on the rayon pool, with the exact
+    /// monotonicity early-exit — once `(c-1)·t_max` alone reaches the
+    /// prune bound, no larger candidate can improve on it (the sum term is
+    /// non-negative).
+    ///
+    /// Before the ascending sweep, a handful of spread-out probe solves
+    /// seed the prune bound. Any candidate's true objective is a valid
+    /// bound: the optimal candidate `t*` satisfies
+    /// `(c-1)·t* < obj(t*) <= bound` strictly (its sum term is positive),
+    /// so it is never pruned, and every pruned candidate has
+    /// `obj >= (c-1)·t_max >= bound >= obj(t*)`, so it could neither win
+    /// nor tie ahead of `t*` in the ascending order.
+    ///
+    /// Selection is identical to the serial full sweep: results are folded
+    /// in ascending candidate order and a new best must be strictly
+    /// better, so ties keep the smallest candidate.
+    fn sweep_tmax(
+        &self,
+        table: &SliceCosts,
+        candidates: &[Micros],
+    ) -> Option<(Micros, Vec<usize>, Micros)> {
         let c = self.cm.num_stages() as f64;
         let dp_deg = self.config.dp_degree.max(1) as f64;
-        let mut best: Option<(Micros, Vec<usize>, Micros)> = None;
-        for &t_max in &candidates {
-            let Some((sum, back)) = self.solve_for_tmax(&table, t_max) else {
-                continue;
-            };
-            let obj = (c - 1.0) * t_max + sum / dp_deg;
-            // Prune: objective is (c-1)·t_max + decreasing(sum); once the
-            // ramp term alone exceeds the best, larger candidates when the
-            // sum has converged cannot win. (Cheap check: compare and keep.)
-            match &best {
-                Some((b, _, _)) if *b <= obj => {}
-                _ => best = Some((obj, back, t_max)),
+        let n = table.n;
+        let rows = RowIndex::build(table);
+        let objective = |t_max: Micros, sum: Micros| (c - 1.0) * t_max + sum / dp_deg;
+
+        // Seed probes: solves are cached and reused by the main sweep.
+        let mut cache: Vec<Option<Option<(Micros, Vec<usize>)>>> = vec![None; candidates.len()];
+        let mut prune_bound = f64::INFINITY;
+        if candidates.len() >= 16 {
+            let probes: Vec<usize> = (1..8).map(|i| i * candidates.len() / 8).collect();
+            let solved: Vec<Option<(Micros, Vec<usize>)>> = probes
+                .par_iter()
+                .map(|&i| rows.solve(n, candidates[i]))
+                .collect();
+            for (&i, sol) in probes.iter().zip(solved) {
+                if let Some((sum, _)) = &sol {
+                    prune_bound = prune_bound.min(objective(candidates[i], *sum));
+                }
+                cache[i] = Some(sol);
             }
         }
-        let (_, back, _) = best?;
-        let ranges = Self::backtrace(&back, ordered.len());
+
+        let mut best: Option<(Micros, Vec<usize>, Micros)> = None;
+        // Chunked so the early exit still bounds wasted work when the pool
+        // is wide: at most one chunk of solves beyond the stop point.
+        let chunk = (rayon::current_num_threads() * 2).max(4);
+        let mut lo = 0;
+        'sweep: while lo < candidates.len() {
+            if (c - 1.0) * candidates[lo] >= prune_bound {
+                // All remaining candidates are >= candidates[lo].
+                break;
+            }
+            let hi = (lo + chunk).min(candidates.len());
+            let solved: Vec<Option<(Micros, Vec<usize>)>> = (lo..hi)
+                .into_par_iter()
+                .map(|i| match &cache[i] {
+                    Some(sol) => sol.clone(),
+                    None => rows.solve(n, candidates[i]),
+                })
+                .collect();
+            for (j, sol) in solved.into_iter().enumerate() {
+                let t_max = candidates[lo + j];
+                if (c - 1.0) * t_max >= prune_bound {
+                    break 'sweep;
+                }
+                let Some((sum, back)) = sol else { continue };
+                let obj = objective(t_max, sum);
+                prune_bound = prune_bound.min(obj);
+                if best.as_ref().is_none_or(|(b, _, _)| obj < *b) {
+                    best = Some((obj, back, t_max));
+                }
+            }
+            lo = hi;
+        }
+        best
+    }
+
+    /// Assemble the final result from chosen split back-pointers.
+    fn finish(&self, ordered: &[Sample], back: &[usize]) -> PartitionResult {
+        let c = self.cm.num_stages() as f64;
+        let dp_deg = self.config.dp_degree.max(1) as f64;
+        let ranges = Self::backtrace(back, ordered.len());
         let micro_batches: Vec<MicroBatch> = ranges
             .iter()
             .map(|r| MicroBatch::new(ordered[r.clone()].to_vec()))
@@ -284,13 +608,143 @@ impl<'a> Partitioner<'a> {
         let t_max_realized = mb_times.iter().copied().fold(0.0, f64::max);
         let sum: Micros = mb_times.iter().sum();
         let est = (c - 1.0) * t_max_realized + sum / dp_deg;
-        Some(PartitionResult {
+        PartitionResult {
             ranges,
             micro_batches,
             mb_times,
             est_iteration_time: est,
             t_max: t_max_realized,
-        })
+        }
+    }
+
+    fn empty_result() -> PartitionResult {
+        PartitionResult {
+            ranges: vec![],
+            micro_batches: vec![],
+            mb_times: vec![],
+            est_iteration_time: 0.0,
+            t_max: 0.0,
+        }
+    }
+
+    /// Partition `ordered` samples; `None` when no partition satisfies the
+    /// memory limit (e.g. a single sample's activation exceeds the budget).
+    pub fn partition(&self, ordered: &[Sample]) -> Option<PartitionResult> {
+        if ordered.is_empty() {
+            return Some(Self::empty_result());
+        }
+        let shapes = self.shape_pass(ordered);
+        self.partition_with_shapes(&shapes, ordered)
+    }
+
+    /// Partition using a shared, precomputed shape pass (builds the
+    /// forward table internally; use
+    /// [`Partitioner::partition_with_context`] to also share that across
+    /// modes, as the §7 sweep does).
+    pub fn partition_with_shapes(
+        &self,
+        shapes: &SliceShapes,
+        ordered: &[Sample],
+    ) -> Option<PartitionResult> {
+        self.partition_with_context(shapes, &SliceFwdCosts::build(self.cm, shapes), ordered)
+    }
+
+    /// Partition using the shared mode-independent passes (slice shapes
+    /// and forward times). The §7 sweep builds both once per mini-batch
+    /// and calls this once per recompute mode.
+    ///
+    /// The passes must cover exactly `ordered` with this partitioner's
+    /// `max_mb_samples` and the cost model's architecture.
+    pub fn partition_with_context(
+        &self,
+        shapes: &SliceShapes,
+        fwd: &SliceFwdCosts,
+        ordered: &[Sample],
+    ) -> Option<PartitionResult> {
+        if ordered.is_empty() {
+            return Some(Self::empty_result());
+        }
+        debug_assert_eq!(shapes.num_samples(), ordered.len());
+        debug_assert_eq!(
+            shapes.width(),
+            self.config.max_mb_samples.min(ordered.len()).max(1)
+        );
+        debug_assert_eq!(shapes.arch(), self.cm.model.arch);
+        debug_assert_eq!(fwd.fwd.len(), shapes.distinct.len());
+        let table = self.cost_pass(shapes, fwd);
+        let candidates = self.candidates(&table);
+        if candidates.is_empty() {
+            return None;
+        }
+        let (_, back, _) = self.sweep_tmax(&table, &candidates)?;
+        Some(self.finish(ordered, &back))
+    }
+
+    /// Reference implementation retained for equivalence testing and
+    /// speed-up measurement: the original single-pass serial algorithm —
+    /// fused shape+cost table built per call, full candidate sweep, no
+    /// parallelism, no pruning. Optimized paths must match its chosen
+    /// objective value exactly.
+    pub fn partition_reference(&self, ordered: &[Sample]) -> Option<PartitionResult> {
+        if ordered.is_empty() {
+            return Some(Self::empty_result());
+        }
+        let n = ordered.len();
+        let width = self.config.max_mb_samples.min(n).max(1);
+        let arch = self.cm.model.arch;
+        let mut time = vec![f64::INFINITY; n * width];
+        let mut feasible = vec![false; n * width];
+        for end in 1..=n {
+            let mut max_in = 0usize;
+            let mut max_tg = 0usize;
+            for k in 0..width.min(end) {
+                let s = &ordered[end - 1 - k];
+                match arch {
+                    ModelArch::Gpt => {
+                        max_in = max_in.max(s.gpt_len());
+                    }
+                    ModelArch::T5 => {
+                        max_in = max_in.max(s.input_len);
+                        max_tg = max_tg.max(s.target_len);
+                    }
+                }
+                let shape = match arch {
+                    ModelArch::Gpt => MicroBatchShape::gpt(k + 1, max_in.max(1)),
+                    ModelArch::T5 => MicroBatchShape::t5(k + 1, max_in.max(1), max_tg.max(1)),
+                };
+                let idx = (end - 1) * width + k;
+                let mem = self.cm.mb_activation_max(&shape, self.config.recompute);
+                if mem <= self.config.mb_memory_limit {
+                    feasible[idx] = true;
+                    time[idx] = self.cm.mb_time(&shape, self.config.recompute);
+                }
+            }
+        }
+        let table = SliceCosts {
+            time,
+            feasible,
+            width,
+            n,
+        };
+        let candidates = self.candidates(&table);
+        if candidates.is_empty() {
+            return None;
+        }
+        let c = self.cm.num_stages() as f64;
+        let dp_deg = self.config.dp_degree.max(1) as f64;
+        let mut best: Option<(Micros, Vec<usize>, Micros)> = None;
+        for &t_max in &candidates {
+            let Some((sum, back)) = self.solve_for_tmax(&table, t_max) else {
+                continue;
+            };
+            let obj = (c - 1.0) * t_max + sum / dp_deg;
+            match &best {
+                Some((b, _, _)) if *b <= obj => {}
+                _ => best = Some((obj, back, t_max)),
+            }
+        }
+        let (_, back, _) = best?;
+        Some(self.finish(ordered, &back))
     }
 
     /// Exhaustive optimal partition for tiny inputs (test oracle): tries
@@ -426,6 +880,69 @@ mod tests {
                 "seed {seed}: dp {} vs brute force {bf_obj} (rel {rel})",
                 dp.est_iteration_time
             );
+        }
+    }
+
+    #[test]
+    fn pruned_parallel_sweep_matches_reference_exactly() {
+        // The early exit and the parallel chunking must never change the
+        // selected partition: compare against the retained serial
+        // full-sweep reference across mini-batch sizes, pipeline depths,
+        // dp degrees and memory limits (tight limits exercise infeasible
+        // candidates inside the sweep).
+        for (pp, n, seed, dp_degree) in
+            [(2, 30, 1, 1), (4, 60, 2, 1), (16, 80, 3, 4), (8, 50, 4, 2)]
+        {
+            let cm = cm(pp);
+            let mut samples = mixed(n, seed);
+            sort_samples(cm.model.arch, &mut samples);
+            let limit = cm.mb_activation_max(
+                &MicroBatchShape::gpt(4, 6200),
+                RecomputeMode::None,
+            );
+            for mb_memory_limit in [Bytes::MAX / 4, limit] {
+                let mut cfg = DpConfig::new(mb_memory_limit);
+                cfg.dp_degree = dp_degree;
+                let p = Partitioner::new(&cm, cfg);
+                let fast = p.partition(&samples).unwrap();
+                let reference = p.partition_reference(&samples).unwrap();
+                assert_eq!(
+                    fast.ranges, reference.ranges,
+                    "pp={pp} n={n} seed={seed}: pruning changed the partition"
+                );
+                assert_eq!(fast.est_iteration_time, reference.est_iteration_time);
+                assert_eq!(fast.t_max, reference.t_max);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_shape_pass_matches_per_mode_rebuild() {
+        // One shape pass, re-priced per recompute mode, must give exactly
+        // the partitions a from-scratch build gives for each mode.
+        let cm = cm(4);
+        let mut samples = mixed(70, 9);
+        sort_samples(cm.model.arch, &mut samples);
+        let limit = cm.mb_activation_max(&MicroBatchShape::gpt(2, 6200), RecomputeMode::None);
+        let base = DpConfig::new(limit);
+        let shapes = Partitioner::new(&cm, base).shape_pass(&samples);
+        assert!(
+            shapes.num_distinct_shapes() < shapes.num_samples() * shapes.width(),
+            "sorted batches must collapse onto fewer distinct shapes"
+        );
+        for mode in RecomputeMode::ALL {
+            let mut cfg = base;
+            cfg.recompute = mode;
+            let p = Partitioner::new(&cm, cfg);
+            let shared = p.partition_with_shapes(&shapes, &samples);
+            let rebuilt = p.partition(&samples);
+            match (shared, rebuilt) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.ranges, b.ranges, "mode {:?}", mode);
+                    assert_eq!(a.est_iteration_time, b.est_iteration_time);
+                }
+                (a, b) => assert_eq!(a.is_none(), b.is_none(), "mode {:?}", mode),
+            }
         }
     }
 

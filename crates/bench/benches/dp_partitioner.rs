@@ -3,7 +3,8 @@
 //! candidate budgets (the resolution ablation).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dynapipe_batcher::{sort_samples, DpConfig, Partitioner};
+use dynapipe_batcher::{sort_samples, DpConfig, Partitioner, SliceFwdCosts};
+use dynapipe_model::memory::RecomputeMode;
 use dynapipe_cost::{CostModel, ProfileOptions};
 use dynapipe_data::{Dataset, Sample};
 use dynapipe_model::{HardwareModel, ModelConfig, ParallelConfig};
@@ -62,6 +63,44 @@ fn bench_partitioner(c: &mut Criterion) {
                 })
             },
         );
+    }
+    // The §7 sweep's de-duplication win in isolation: one mini-batch, all
+    // recompute modes. "rebuild" reruns the full two-pass build per mode
+    // (what a context-free caller pays); "shared" reuses one shape pass
+    // and one forward table across the whole mode sweep (what
+    // `plan_iteration` pays via `PlanContext`).
+    for (label, shared) in [("mode_sweep_rebuild", false), ("mode_sweep_shared", true)] {
+        group.bench_with_input(BenchmarkId::new(label, 65536), &samples, |b, samples| {
+            let cfg = DpConfig::new(cm.min_activation_budget());
+            b.iter(|| {
+                let mut total_mbs = 0usize;
+                if shared {
+                    let p = Partitioner::new(&cm, cfg);
+                    let shapes = p.shape_pass(std::hint::black_box(samples));
+                    let fwd = SliceFwdCosts::build(&cm, &shapes);
+                    for mode in RecomputeMode::ALL {
+                        let mut mode_cfg = cfg;
+                        mode_cfg.recompute = mode;
+                        let p = Partitioner::new(&cm, mode_cfg);
+                        total_mbs += p
+                            .partition_with_context(&shapes, &fwd, samples)
+                            .unwrap()
+                            .num_micro_batches();
+                    }
+                } else {
+                    for mode in RecomputeMode::ALL {
+                        let mut mode_cfg = cfg;
+                        mode_cfg.recompute = mode;
+                        let p = Partitioner::new(&cm, mode_cfg);
+                        total_mbs += p
+                            .partition(std::hint::black_box(samples))
+                            .unwrap()
+                            .num_micro_batches();
+                    }
+                }
+                total_mbs
+            })
+        });
     }
     group.finish();
 }

@@ -1,0 +1,175 @@
+//! Planning-speed regression bench: serial reference vs optimized hot path.
+//!
+//! Reuses the Fig. 17 workload (65k-token mini-batches of the FLANv2-like
+//! dataset, every §7 recompute mode swept) and times the DP partitioning
+//! core — the dominant term in per-iteration planning — two ways:
+//!
+//! * **serial**: the retained reference path
+//!   ([`Partitioner::partition_reference`]): per-mode slice-table rebuild,
+//!   full `t_max` candidate sweep, no parallelism, no pruning;
+//! * **optimized**: the production path: one mode-independent shape pass
+//!   shared across all recompute modes, deduplicated cost pricing, and the
+//!   pruned parallel `t_max` sweep.
+//!
+//! Emits `BENCH_planning.json` with `{serial_us, parallel_us, speedup}`
+//! (plus per-model breakdowns) so future changes have a planning-time
+//! trajectory to compare against. Equivalence of the chosen objectives is
+//! asserted on every measured mini-batch — the speed-up must never come
+//! from choosing different partitions.
+
+use dynapipe_batcher::{sort_samples, DpConfig, Partitioner, SliceFwdCosts};
+use dynapipe_bench::{probe_minibatches, write_json, BenchOpts, Point};
+use dynapipe_cost::{CostModel, ProfileOptions};
+use dynapipe_data::{Dataset, Sample};
+use dynapipe_model::memory::RecomputeMode;
+use dynapipe_model::{HardwareModel, ModelConfig, ParallelConfig};
+use std::time::Instant;
+
+struct ModelRun {
+    name: &'static str,
+    serial_us: f64,
+    parallel_us: f64,
+}
+
+fn dp_config(cm: &CostModel, mode: RecomputeMode) -> DpConfig {
+    let mut cfg = DpConfig::new(cm.min_activation_budget());
+    cfg.recompute = mode;
+    cfg.max_mb_samples = 128;
+    cfg
+}
+
+fn run_model(
+    name: &'static str,
+    model: ModelConfig,
+    parallel: ParallelConfig,
+    minibatches: &[Vec<Sample>],
+) -> ModelRun {
+    let hw = HardwareModel::a100_cluster();
+    let cm = CostModel::build(hw, model, parallel, &ProfileOptions::default());
+    let ordered: Vec<Vec<Sample>> = minibatches
+        .iter()
+        .map(|mb| {
+            let mut s = mb.clone();
+            sort_samples(cm.model.arch, &mut s);
+            s
+        })
+        .collect();
+
+    // Serial reference: rebuild the fused slice table per recompute mode,
+    // full candidate sweep.
+    let t0 = Instant::now();
+    let mut serial_objectives = Vec::new();
+    for mb in &ordered {
+        for mode in RecomputeMode::ALL {
+            let p = Partitioner::new(&cm, dp_config(&cm, mode));
+            serial_objectives.push(
+                p.partition_reference(mb)
+                    .map(|r| r.est_iteration_time),
+            );
+        }
+    }
+    let serial_us = t0.elapsed().as_secs_f64() * 1e6;
+
+    // Optimized: one shared shape pass per mini-batch, per-mode re-pricing,
+    // pruned parallel t_max sweep.
+    let t1 = Instant::now();
+    let mut fast_objectives = Vec::new();
+    for mb in &ordered {
+        let shapes = Partitioner::new(&cm, dp_config(&cm, RecomputeMode::None)).shape_pass(mb);
+        let fwd = SliceFwdCosts::build(&cm, &shapes);
+        for mode in RecomputeMode::ALL {
+            let p = Partitioner::new(&cm, dp_config(&cm, mode));
+            fast_objectives.push(
+                p.partition_with_context(&shapes, &fwd, mb)
+                    .map(|r| r.est_iteration_time),
+            );
+        }
+    }
+    let parallel_us = t1.elapsed().as_secs_f64() * 1e6;
+
+    for (i, (s, f)) in serial_objectives.iter().zip(&fast_objectives).enumerate() {
+        match (s, f) {
+            (Some(s), Some(f)) => assert!(
+                (s - f).abs() <= 1e-9 * s.abs().max(1.0),
+                "{name} case {i}: objective diverged (serial {s}, optimized {f})"
+            ),
+            (s, f) => assert_eq!(s.is_none(), f.is_none(), "{name} case {i}: feasibility"),
+        }
+    }
+
+    println!(
+        "  {name:>4}: serial {:9.1} ms | optimized {:9.1} ms | {:5.2}x on {} mini-batches",
+        serial_us / 1e3,
+        parallel_us / 1e3,
+        serial_us / parallel_us,
+        ordered.len(),
+    );
+    ModelRun {
+        name,
+        serial_us,
+        parallel_us,
+    }
+}
+
+fn main() {
+    let opts = BenchOpts::default();
+    let dataset = Dataset::flanv2(opts.seed, opts.dataset_samples.max(6000));
+    println!("planning speed — fig17 workload, 65k-token mini-batches, all recompute modes\n");
+    let mut runs = Vec::new();
+    for (name, model, parallel) in [
+        ("GPT", ModelConfig::gpt_6_7b(), ParallelConfig::new(1, 2, 4)),
+        ("T5", ModelConfig::t5_11b(), ParallelConfig::new(1, 4, 2)),
+    ] {
+        let point = Point {
+            model,
+            num_gpus: 8,
+            max_seq_len: 4096,
+            gbs_tokens: 65536,
+        };
+        let minibatches = probe_minibatches(&dataset, &point, 4);
+        runs.push(run_model(name, model, parallel, &minibatches));
+    }
+
+    let serial_us: f64 = runs.iter().map(|r| r.serial_us).sum();
+    let parallel_us: f64 = runs.iter().map(|r| r.parallel_us).sum();
+    let speedup = serial_us / parallel_us;
+    println!("\n  total: {speedup:.2}x (threads: {})", rayon::current_num_threads());
+
+    let per_model = serde_json::Value::Object(
+        runs.iter()
+            .map(|r| {
+                (
+                    r.name.to_string(),
+                    serde_json::json!({
+                        "serial_us": r.serial_us,
+                        "parallel_us": r.parallel_us,
+                        "speedup": r.serial_us / r.parallel_us,
+                    }),
+                )
+            })
+            .collect(),
+    );
+    let out = serde_json::Value::Object(vec![
+        ("serial_us".to_string(), serde_json::json!(serial_us)),
+        ("parallel_us".to_string(), serde_json::json!(parallel_us)),
+        ("speedup".to_string(), serde_json::json!(speedup)),
+        (
+            "threads".to_string(),
+            serde_json::json!(rayon::current_num_threads()),
+        ),
+        ("per_model".to_string(), per_model),
+    ]);
+    // The canonical artifact at the repo root (what CI trend-tracks), plus
+    // a copy under results/ with the other figure outputs.
+    match serde_json::to_string_pretty(&out) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write("BENCH_planning.json", &s) {
+                eprintln!("warning: could not write BENCH_planning.json: {e}");
+            } else {
+                println!("  -> BENCH_planning.json");
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize: {e}"),
+    }
+    write_json("planning_speed", &out);
+}

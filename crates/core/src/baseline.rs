@@ -267,8 +267,11 @@ mod tests {
 
     #[test]
     fn fixed_size_baseline_wastes_padding() {
+        // msl 2048 keeps 8-sample fixed micro-batches memory-feasible at
+        // pp=2 for every recompute mode regardless of the RNG stream that
+        // produced the dataset; padding waste is just as visible.
         let p = BaselinePlanner::new(cm(false, 2), BaselineKind::FixedSize { mb_size: 8 });
-        let plan = p.plan_iteration(&minibatch(64, 4096)).unwrap();
+        let plan = p.plan_iteration(&minibatch(64, 2048)).unwrap();
         // Unsorted fixed-size batches over FLANv2-like data pad heavily.
         assert!(
             plan.padding.efficiency() < 0.6,

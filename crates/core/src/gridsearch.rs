@@ -15,6 +15,7 @@ use dynapipe_cost::{CostModel, ProfileOptions};
 use dynapipe_data::Sample;
 use dynapipe_model::{HardwareModel, ModelConfig, ParallelConfig};
 use dynapipe_sim::AllocatorMode;
+use rayon::prelude::*;
 use std::sync::Arc;
 
 /// Score of one parallelism candidate.
@@ -31,6 +32,11 @@ pub struct CandidateScore {
 /// Evaluate every feasible (dp, tp, pp) combination for `num_gpus` GPUs and
 /// return candidates sorted by descending estimated throughput.
 ///
+/// Candidates are independent — each builds its own cost model, plans the
+/// probes and simulates them — so they are scored in parallel on the rayon
+/// pool. The final ranking is deterministic: a stable sort on throughput
+/// keeps enumeration order among ties, matching the serial search.
+///
 /// `probe_minibatches` should be a handful of representative mini-batches;
 /// infeasible candidates (static state over budget, or no feasible plan)
 /// are dropped.
@@ -42,55 +48,64 @@ pub fn search_parallelism(
     planner_config: PlannerConfig,
     profile_opts: &ProfileOptions,
 ) -> Vec<CandidateScore> {
-    let mut out = Vec::new();
-    for parallel in ParallelConfig::enumerate(num_gpus, hw.gpus_per_node) {
-        if !parallel.fits_model(model) {
-            continue;
-        }
-        let cm = Arc::new(CostModel::build(hw.clone(), *model, parallel, profile_opts));
-        if !cm.is_feasible() {
-            continue;
-        }
-        let planner = DynaPipePlanner::new(cm.clone(), planner_config);
-        let probe_run = RunConfig {
-            max_iterations: None,
-            jitter: None,
-            allocator: AllocatorMode::PreAllocatedPool,
-            record_trace: false,
-        };
-        let mut tokens = 0u64;
-        let mut time_us = 0.0f64;
-        let mut ok = true;
-        for (i, mb) in probe_minibatches.iter().enumerate() {
-            let plan = match planner.plan_iteration(mb) {
-                Ok(p) => p,
-                Err(_) => {
-                    ok = false;
-                    break;
-                }
-            };
-            match simulate_iteration(&cm, &plan, &probe_run, i) {
-                Ok((measured, _, _)) => {
-                    tokens += plan.actual_tokens;
-                    time_us += measured;
-                }
-                Err(_) => {
-                    ok = false;
-                    break;
-                }
-            }
-        }
-        if !ok || time_us <= 0.0 {
-            continue;
-        }
-        out.push(CandidateScore {
-            parallel,
-            est_throughput: tokens as f64 / (time_us / 1e6),
-            cost_model: cm,
-        });
-    }
+    let candidates = ParallelConfig::enumerate(num_gpus, hw.gpus_per_node);
+    let mut out: Vec<CandidateScore> = candidates
+        .par_iter()
+        .filter_map(|&parallel| {
+            score_candidate(
+                hw,
+                model,
+                parallel,
+                probe_minibatches,
+                planner_config,
+                profile_opts,
+            )
+        })
+        .collect();
     out.sort_by(|a, b| b.est_throughput.total_cmp(&a.est_throughput));
     out
+}
+
+/// Score one (dp, tp, pp) candidate; `None` when it is infeasible or any
+/// probe fails to plan or simulate.
+fn score_candidate(
+    hw: &HardwareModel,
+    model: &ModelConfig,
+    parallel: ParallelConfig,
+    probe_minibatches: &[Vec<Sample>],
+    planner_config: PlannerConfig,
+    profile_opts: &ProfileOptions,
+) -> Option<CandidateScore> {
+    if !parallel.fits_model(model) {
+        return None;
+    }
+    let cm = Arc::new(CostModel::build(hw.clone(), *model, parallel, profile_opts));
+    if !cm.is_feasible() {
+        return None;
+    }
+    let planner = DynaPipePlanner::new(cm.clone(), planner_config);
+    let probe_run = RunConfig {
+        max_iterations: None,
+        jitter: None,
+        allocator: AllocatorMode::PreAllocatedPool,
+        record_trace: false,
+    };
+    let mut tokens = 0u64;
+    let mut time_us = 0.0f64;
+    for (i, mb) in probe_minibatches.iter().enumerate() {
+        let plan = planner.plan_iteration(mb).ok()?;
+        let (measured, _, _) = simulate_iteration(&cm, &plan, &probe_run, i).ok()?;
+        tokens += plan.actual_tokens;
+        time_us += measured;
+    }
+    if time_us <= 0.0 {
+        return None;
+    }
+    Some(CandidateScore {
+        parallel,
+        est_throughput: tokens as f64 / (time_us / 1e6),
+        cost_model: cm,
+    })
 }
 
 #[cfg(test)]

@@ -36,7 +36,9 @@ pub use baseline::{BaselineKind, BaselinePlanner};
 pub use compile::compile_replica;
 pub use driver::{run_training, IterationPlanner, IterationRecord, RunConfig, RunReport};
 pub use gridsearch::{search_parallelism, CandidateScore};
+pub use parallel::{generate_plans_parallel, ParallelPlanStats};
 pub use planner::{
-    DynaPipePlanner, IterationPlan, PlanError, PlannerConfig, ReplicaPlan, ScheduleKind,
+    DynaPipePlanner, IterationPlan, PlanContext, PlanError, PlannerConfig, ReplicaPlan,
+    ScheduleKind,
 };
 pub use store::InstructionStore;

@@ -1,15 +1,20 @@
 //! Parallel execution-plan generation (§3, §8.5).
 //!
 //! Plan generation is CPU work that the paper overlaps with GPU execution
-//! by parallelizing across cores (and machines). Here a worker pool
-//! consumes mini-batches from a channel and pushes compiled plans into the
-//! instruction store; the returned statistics are the data behind Fig. 17's
-//! "planning fully overlaps with execution given ~13 cores" argument.
+//! by parallelizing across cores (and machines). Mini-batches are
+//! distributed to the rayon worker pool *by index*: workers borrow
+//! `&[Sample]` slices straight out of the caller's batch list, so no
+//! sample data is copied or staged in a queue (the previous design pushed
+//! a clone of every mini-batch through an unbounded channel). The
+//! returned statistics are the data behind Fig. 17's "planning fully
+//! overlaps with execution given ~13 cores" argument.
 
 use crate::planner::{DynaPipePlanner, PlanError};
 use crate::store::InstructionStore;
 use dynapipe_data::Sample;
 use dynapipe_model::Micros;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Outcome of a parallel planning session.
@@ -21,6 +26,15 @@ pub struct ParallelPlanStats {
     pub per_plan_us: Vec<Micros>,
     /// Iterations that failed to plan.
     pub failures: Vec<(usize, PlanError)>,
+    /// Peak number of simultaneously in-flight plan computations observed
+    /// during the session — the memory high-water mark beyond the
+    /// caller's inputs is this many partial plans, not (as with the old
+    /// staged queue) the whole session's mini-batches. Exactly bounded by
+    /// the worker count under the vendored rayon shim (nested work runs
+    /// in the caller's slot); a work-stealing pool could briefly exceed
+    /// it while a worker blocks in nested parallelism, but it stays
+    /// O(pool), never O(session).
+    pub peak_in_flight: usize,
 }
 
 impl ParallelPlanStats {
@@ -38,8 +52,13 @@ impl ParallelPlanStats {
     }
 }
 
-/// Plan all `minibatches` on `workers` threads, pushing results into
-/// `store` keyed by iteration index.
+/// Plan all `minibatches` on a pool of `workers` threads, pushing results
+/// into `store` keyed by iteration index.
+///
+/// Workers receive mini-batches as borrowed slices (`&minibatches[i]`);
+/// plan outputs go straight into the sharded store, so peak memory beyond
+/// the caller's inputs is the plans themselves plus one in-flight
+/// partition per worker.
 pub fn generate_plans_parallel(
     planner: Arc<DynaPipePlanner>,
     minibatches: &[Vec<Sample>],
@@ -48,48 +67,45 @@ pub fn generate_plans_parallel(
 ) -> ParallelPlanStats {
     let workers = workers.max(1);
     let t0 = std::time::Instant::now();
-    let (tx, rx) = crossbeam_channel::unbounded::<(usize, Vec<Sample>)>();
-    for (i, mb) in minibatches.iter().enumerate() {
-        tx.send((i, mb.clone())).expect("channel open");
-    }
-    drop(tx);
-    let (res_tx, res_rx) =
-        crossbeam_channel::unbounded::<(usize, Result<(Micros,), (usize, PlanError)>)>();
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            let rx = rx.clone();
-            let res_tx = res_tx.clone();
-            let planner = planner.clone();
-            let store_ref = &store;
-            s.spawn(move || {
-                while let Ok((i, mb)) = rx.recv() {
-                    match planner.plan_iteration(&mb) {
-                        Ok(plan) => {
-                            let t = plan.planning_time_us;
-                            store_ref.push(i, plan);
-                            let _ = res_tx.send((i, Ok((t,))));
-                        }
-                        Err(e) => {
-                            let _ = res_tx.send((i, Err((i, e))));
-                        }
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(workers)
+        .build()
+        .expect("worker pool");
+    let planner = &*planner;
+    let live = AtomicUsize::new(0);
+    let peak = AtomicUsize::new(0);
+    let results: Vec<(usize, Result<Micros, PlanError>)> = pool.install(|| {
+        (0..minibatches.len())
+            .into_par_iter()
+            .map(|i| {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                let out = match planner.plan_iteration(minibatches[i].as_slice()) {
+                    Ok(plan) => {
+                        let t = plan.planning_time_us;
+                        store.push(i, plan);
+                        (i, Ok(t))
                     }
-                }
-            });
-        }
-        drop(res_tx);
+                    Err(e) => (i, Err(e)),
+                };
+                live.fetch_sub(1, Ordering::SeqCst);
+                out
+            })
+            .collect()
     });
-    let mut per_plan_us = Vec::new();
+    let mut per_plan_us = Vec::with_capacity(results.len());
     let mut failures = Vec::new();
-    while let Ok((_, r)) = res_rx.recv() {
+    for (i, r) in results {
         match r {
-            Ok((t,)) => per_plan_us.push(t),
-            Err(f) => failures.push(f),
+            Ok(t) => per_plan_us.push(t),
+            Err(e) => failures.push((i, e)),
         }
     }
     ParallelPlanStats {
         wall_us: t0.elapsed().as_secs_f64() * 1e6,
         per_plan_us,
         failures,
+        peak_in_flight: peak.load(Ordering::SeqCst),
     }
 }
 
@@ -134,6 +150,31 @@ mod tests {
         for i in 0..6 {
             assert!(store.fetch(i).is_some(), "plan {i} missing");
         }
+    }
+
+    #[test]
+    fn in_flight_work_is_bounded_by_workers() {
+        // Bounded-memory invariant: the old design staged a clone of
+        // every mini-batch in an unbounded channel up front, so dispatch
+        // memory grew with the session length. Index-based distribution
+        // holds work only inside the pool — at most `workers` plan
+        // computations (and their partial state) exist at once, however
+        // many mini-batches the session has.
+        // The exact `<= workers` bound relies on the vendored rayon shim
+        // running nested parallel work in the caller's slot; if the shim
+        // is ever swapped for real work-stealing rayon, this needs a
+        // small +pool slack (see the `peak_in_flight` field docs).
+        let mbs = minibatches(6);
+        let store = InstructionStore::new();
+        let stats = generate_plans_parallel(planner(), &mbs, 2, &store);
+        assert!(
+            (1..=2).contains(&stats.peak_in_flight),
+            "in-flight plan computations must be bounded by the worker \
+             count, got {}",
+            stats.peak_in_flight
+        );
+        assert_eq!(store.len(), 6);
+        assert!(stats.failures.is_empty());
     }
 
     #[test]

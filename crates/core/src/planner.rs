@@ -9,6 +9,7 @@
 
 use dynapipe_batcher::{
     karmarkar_karp, DpConfig, MicroBatch, OrderingStrategy, PaddingStats, Partitioner,
+    SliceFwdCosts, SliceShapes,
 };
 use dynapipe_comm::{plan_communication, verify_deadlock_free, ExecutionPlan, PlanInputs};
 use dynapipe_cost::CostModel;
@@ -19,6 +20,7 @@ use dynapipe_schedule::{
     adaptive_schedule, evaluate_schedule, one_f_one_b, reorder_micro_batches, ReorderConfig,
     Schedule, ScheduleInput,
 };
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
@@ -135,6 +137,21 @@ pub struct DynaPipePlanner {
     pub config: PlannerConfig,
 }
 
+/// Reusable per-mini-batch planning state shared across the §7
+/// recompute-mode sweep: the ordered samples, the activation budget, and
+/// the DP partitioner's mode-independent slice shape pass (built once,
+/// re-priced per mode).
+pub struct PlanContext<'a> {
+    /// The mini-batch, already ordered by the planner's strategy.
+    pub ordered: &'a [Sample],
+    /// Activation budget the plans work against.
+    pub budget: Bytes,
+    /// Shared shape pass over `ordered`.
+    pub shapes: SliceShapes,
+    /// Shared mode-independent forward times for the shape pass.
+    pub fwd: SliceFwdCosts,
+}
+
 impl DynaPipePlanner {
     /// Planner over `cm` with `config`.
     pub fn new(cm: Arc<CostModel>, config: PlannerConfig) -> Self {
@@ -170,9 +187,20 @@ impl DynaPipePlanner {
         // sizes — on activation-heavy models (T5's huge FFN), paying
         // recomputation to unlock larger micro-batches is a net win, so
         // "first feasible" would be wrong.
+        //
+        // The modes are independent, so the sweep runs on the rayon pool;
+        // each mode re-prices the context's shared slice shape pass
+        // instead of rebuilding it. Results are folded in mode order with
+        // a strict comparison, so the selected plan is the same as the
+        // serial sweep's (ties keep the cheapest-in-time-order mode).
+        let ctx = self.plan_context(&samples, budget);
         let mut best: Option<IterationPlan> = None;
-        for mode in RecomputeMode::ALL {
-            match self.plan_with_mode(&samples, budget, mode) {
+        let outcomes: Vec<Result<IterationPlan, (RecomputeMode, String)>> = RecomputeMode::ALL
+            .par_iter()
+            .map(|&mode| self.plan_with_mode_ctx(&ctx, mode).map_err(|e| (mode, e)))
+            .collect();
+        for outcome in outcomes {
+            match outcome {
                 Ok(candidate) => {
                     if best
                         .as_ref()
@@ -181,7 +209,7 @@ impl DynaPipePlanner {
                         best = Some(candidate);
                     }
                 }
-                Err(e) => last_err = format!("{} recomputation: {e}", mode.label()),
+                Err((mode, e)) => last_err = format!("{} recomputation: {e}", mode.label()),
             }
         }
         match best {
@@ -193,16 +221,44 @@ impl DynaPipePlanner {
         }
     }
 
+    /// Build the reusable planning context for an ordered mini-batch: runs
+    /// the DP partitioner's mode-independent shape pass once so the §7
+    /// sweep (and any caller comparing modes) shares it.
+    pub fn plan_context<'a>(&self, ordered: &'a [Sample], budget: Bytes) -> PlanContext<'a> {
+        let shapes = SliceShapes::build(self.cm.model.arch, ordered, self.config.max_mb_samples);
+        let fwd = SliceFwdCosts::build(&self.cm, &shapes);
+        PlanContext {
+            ordered,
+            budget,
+            shapes,
+            fwd,
+        }
+    }
+
     /// Plan the (already ordered) samples under one fixed recomputation
-    /// mode. Exposed for the recomputation ablation; `plan_iteration`
-    /// sweeps all modes through this and keeps the best.
+    /// mode. Exposed for the recomputation ablation; builds a fresh
+    /// context — `plan_iteration` sweeps all modes through
+    /// [`DynaPipePlanner::plan_with_mode_ctx`] over one shared context.
     pub fn plan_with_mode(
         &self,
         ordered: &[Sample],
         budget: Bytes,
         mode: RecomputeMode,
     ) -> Result<IterationPlan, String> {
+        self.plan_with_mode_ctx(&self.plan_context(ordered, budget), mode)
+    }
+
+    /// Plan one recomputation mode against a shared [`PlanContext`]: the
+    /// DP partitioner re-prices the context's slice shape pass under
+    /// `mode` instead of rebuilding it.
+    pub fn plan_with_mode_ctx(
+        &self,
+        ctx: &PlanContext<'_>,
+        mode: RecomputeMode,
+    ) -> Result<IterationPlan, String> {
         let cm = &*self.cm;
+        let ordered = ctx.ordered;
+        let budget = ctx.budget;
         let c = cm.num_stages();
         // Per-micro-batch memory limit: 1F1B keeps up to c activations in
         // flight; the adaptive schedule self-limits, needing only a single
@@ -221,7 +277,7 @@ impl DynaPipePlanner {
         };
         let partitioner = Partitioner::new(cm, dp_cfg);
         let partition = partitioner
-            .partition(ordered)
+            .partition_with_context(&ctx.shapes, &ctx.fwd, ordered)
             .ok_or_else(|| "no feasible micro-batch split".to_string())?;
         // Balance micro-batches across data-parallel replicas.
         let groups = karmarkar_karp(&partition.mb_times, cm.parallel.dp);

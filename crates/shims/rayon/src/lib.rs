@@ -1,0 +1,441 @@
+//! Offline stand-in for `rayon`: the data-parallel iterator subset the
+//! planning hot path uses (`par_iter` on slices, `into_par_iter` on
+//! ranges and vectors, `map`/`filter_map`/`collect`/`for_each`), executed
+//! on `std::thread::scope` with contiguous index-chunk splitting.
+//!
+//! Semantics match rayon where it matters for the planner:
+//! * results are returned in input order regardless of thread count;
+//! * closures run exactly once per element;
+//! * `ThreadPool::install` bounds the worker count for the enclosed call
+//!   (implemented as a thread-local cap rather than a persistent pool —
+//!   workers are scoped threads, so nothing leaks between calls).
+//!
+//! Thread count defaults to `std::thread::available_parallelism`, tunable
+//! via the `RAYON_NUM_THREADS` environment variable like real rayon.
+
+use std::cell::Cell;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+thread_local! {
+    static POOL_CAP: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    let cap = POOL_CAP.with(Cell::get);
+    if cap > 0 {
+        return cap;
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Evaluate `f(0..n)` in parallel, preserving index order in the output.
+fn run_indexed<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let threads = current_num_threads().min(n).max(1);
+    if threads == 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut parts: Vec<Vec<U>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let f = &f;
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                s.spawn(move || {
+                    // Real rayon runs nested parallel work on the same
+                    // bounded pool. The shim's equivalent: each of the N
+                    // workers claims one slot, so nested par_iter calls
+                    // inside `f` run serially rather than multiplying
+                    // the thread count past the pool/cap bound.
+                    POOL_CAP.with(|c| c.set(1));
+                    (lo..hi).map(f).collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("rayon shim worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// A bounded worker pool: `install` caps the parallelism of everything the
+/// closure runs on this thread.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `f` with this pool's thread count governing parallel operations.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_CAP.with(|c| c.replace(self.num_threads));
+        let out = f();
+        POOL_CAP.with(|c| c.set(prev));
+        out
+    }
+}
+
+/// Builder matching `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Pool construction error (the shim never fails; kept for API parity).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// New builder with default (auto) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker count (0 = auto).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// The parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `.par_iter()` on `&collection`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type (a reference).
+    type Item;
+    /// The parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrowing conversion.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// The executable side of the shim's parallel iterators.
+///
+/// Unlike real rayon this is an *eager, indexed* model: every adapter knows
+/// its length and how to produce element `i`; consumers run `run_indexed`.
+pub trait ParallelIterator: Sized + Sync
+where
+    Self::Item: Send,
+{
+    /// Element type.
+    type Item;
+
+    /// Number of elements.
+    fn len(&self) -> usize;
+
+    /// Whether the iterator is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produce element `i` (called at most once per index).
+    fn get(&self, i: usize) -> Self::Item;
+
+    /// Map each element through `f` in parallel.
+    fn map<U: Send, F: Fn(Self::Item) -> U + Sync>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Run `f` on every element in parallel.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        run_indexed(self.len(), |i| f(self.get(i)));
+    }
+
+    /// Collect all elements in input order.
+    fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+        C::from(run_indexed(self.len(), |i| self.get(i)))
+    }
+
+    /// Collect, dropping `None` results of `f`, preserving input order.
+    fn filter_map<U: Send, F: Fn(Self::Item) -> Option<U> + Sync>(
+        self,
+        f: F,
+    ) -> FilterMap<Self, F> {
+        FilterMap { inner: self, f }
+    }
+}
+
+/// Parallel iterator over a slice.
+pub struct SliceIter<'a, T> {
+    data: &'a [T],
+}
+
+impl<'a, T: Sync + 'a> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn get(&self, i: usize) -> &'a T {
+        &self.data[i]
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { data: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { data: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { data: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { data: self }
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct RangeIter {
+    start: usize,
+    end: usize,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn get(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = RangeIter;
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter {
+            start: self.start,
+            end: self.end.max(self.start),
+        }
+    }
+}
+
+/// Owning parallel iterator over a `Vec` (elements are cloned out by
+/// index; real rayon moves them, but clone-on-get keeps the indexed model
+/// simple and every use site hands in cheap items).
+pub struct VecIter<T> {
+    data: Vec<T>,
+}
+
+impl<T: Clone + Send + Sync> ParallelIterator for VecIter<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn get(&self, i: usize) -> T {
+        self.data[i].clone()
+    }
+}
+
+impl<T: Clone + Send + Sync> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { data: self }
+    }
+}
+
+/// Map adapter.
+pub struct Map<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, U, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    I::Item: Send,
+    U: Send,
+    F: Fn(I::Item) -> U + Sync,
+{
+    type Item = U;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn get(&self, i: usize) -> U {
+        (self.f)(self.inner.get(i))
+    }
+}
+
+/// FilterMap adapter. Because the shim's model is indexed, this adapter is
+/// terminal-only: call `collect` on it (element count is unknown until
+/// execution).
+pub struct FilterMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, U, F> FilterMap<I, F>
+where
+    I: ParallelIterator,
+    I::Item: Send,
+    U: Send,
+    F: Fn(I::Item) -> Option<U> + Sync,
+{
+    /// Collect the `Some` results in input order.
+    pub fn collect<C: From<Vec<U>>>(self) -> C {
+        let opts = run_indexed(self.inner.len(), |i| (self.f)(self.inner.get(i)));
+        C::from(opts.into_iter().flatten().collect::<Vec<U>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_filter_map() {
+        let out: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .filter_map(|x| (x % 3 == 0).then_some(x))
+            .collect();
+        assert_eq!(out, (0..100).step_by(3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_install_caps_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 2);
+            let out: Vec<usize> = (0..64usize).into_par_iter().map(|x| x + 1).collect();
+            assert_eq!(out.len(), 64);
+        });
+    }
+
+    #[test]
+    fn nested_parallelism_stays_within_pool_bound() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Inner par_iter calls run inside pool workers; total concurrency
+        // must stay at the pool width, not workers x inner threads.
+        let peak = AtomicUsize::new(0);
+        let live = AtomicUsize::new(0);
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let results: Vec<usize> = pool.install(|| {
+            (0..8usize)
+                .into_par_iter()
+                .map(|i| {
+                    let inner: Vec<usize> = (0..16usize)
+                        .into_par_iter()
+                        .map(|j| {
+                            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                            peak.fetch_max(now, Ordering::SeqCst);
+                            std::thread::yield_now();
+                            live.fetch_sub(1, Ordering::SeqCst);
+                            i + j
+                        })
+                        .collect();
+                    inner.len()
+                })
+                .collect()
+        });
+        assert_eq!(results, vec![16usize; 8]);
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "nested work exceeded the pool bound: peak {}",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn for_each_runs_every_element() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        let v: Vec<usize> = (0..257).collect();
+        v.par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 257);
+    }
+}

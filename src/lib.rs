@@ -68,7 +68,8 @@ pub use dynapipe_sim as sim;
 /// Everything needed for typical use, in one import.
 pub mod prelude {
     pub use dynapipe_batcher::{
-        padding_efficiency, DpConfig, MicroBatch, OrderingStrategy, PaddingStats, Partitioner,
+        padding_efficiency, sort_samples, DpConfig, MicroBatch, OrderingStrategy, PaddingStats,
+        Partitioner, SliceShapes,
     };
     pub use dynapipe_comm::{verify_deadlock_free, ExecutionPlan, Instr};
     pub use dynapipe_core::{

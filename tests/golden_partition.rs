@@ -1,0 +1,89 @@
+//! Golden equivalence of the optimized DP partitioner.
+//!
+//! The planning hot path was restructured around a shared two-pass slice
+//! table, a parallel `t_max` sweep and a monotonicity early-exit. None of
+//! that may change *what* the partitioner chooses: this test pins the
+//! optimized [`Partitioner::partition`] to the retained serial reference
+//! implementation ([`Partitioner::partition_reference`]) across seeded
+//! mini-batches, both model architectures and data-parallel degrees.
+
+use dynapipe_repro::prelude::*;
+
+/// Seeded FLANv2-like mini-batch of roughly `tokens` tokens.
+fn minibatch(seed: u64, tokens: usize, msl: usize) -> Vec<Sample> {
+    let d = Dataset::flanv2(seed, 4000);
+    let mut out = Vec::new();
+    let mut acc = 0usize;
+    for s in &d.samples {
+        let s = s.truncated(msl);
+        acc += s.total_tokens();
+        out.push(s);
+        if acc >= tokens {
+            break;
+        }
+    }
+    out
+}
+
+fn check_equivalence(cm: &CostModel, arch_label: &str) {
+    let budget = cm.min_activation_budget();
+    let mut cases = 0usize;
+    for seed in [1u64, 7, 23, 51, 97] {
+        for dp_degree in [1usize, 4] {
+            let mut samples = minibatch(seed, 16384, 2048);
+            sort_samples(cm.model.arch, &mut samples);
+            let mut cfg = DpConfig::new(budget);
+            cfg.dp_degree = dp_degree;
+            cfg.max_mb_samples = 64;
+            let p = Partitioner::new(cm, cfg);
+            let fast = p.partition(&samples);
+            let reference = p.partition_reference(&samples);
+            match (fast, reference) {
+                (Some(fast), Some(reference)) => {
+                    let rel = (fast.est_iteration_time - reference.est_iteration_time).abs()
+                        / reference.est_iteration_time.max(f64::MIN_POSITIVE);
+                    assert!(
+                        rel < 1e-9,
+                        "{arch_label} seed={seed} dp={dp_degree}: objective diverged \
+                         (optimized {} vs reference {}, rel {rel})",
+                        fast.est_iteration_time,
+                        reference.est_iteration_time
+                    );
+                    assert_eq!(
+                        fast.ranges, reference.ranges,
+                        "{arch_label} seed={seed} dp={dp_degree}: partition diverged"
+                    );
+                }
+                (fast, reference) => assert_eq!(
+                    fast.is_none(),
+                    reference.is_none(),
+                    "{arch_label} seed={seed} dp={dp_degree}: feasibility diverged"
+                ),
+            }
+            cases += 1;
+        }
+    }
+    assert_eq!(cases, 10, "each architecture must cover 10 cases");
+}
+
+#[test]
+fn optimized_partitioner_matches_reference_on_gpt() {
+    let cm = CostModel::build(
+        HardwareModel::a100_cluster(),
+        ModelConfig::gpt_3_35b(),
+        ParallelConfig::new(1, 1, 4),
+        &ProfileOptions::coarse(),
+    );
+    check_equivalence(&cm, "GPT");
+}
+
+#[test]
+fn optimized_partitioner_matches_reference_on_t5() {
+    let cm = CostModel::build(
+        HardwareModel::a100_cluster(),
+        ModelConfig::t5_11b(),
+        ParallelConfig::new(1, 4, 2),
+        &ProfileOptions::coarse(),
+    );
+    check_equivalence(&cm, "T5");
+}
