@@ -12,23 +12,30 @@
 //! The slice table behind the recurrence is built in **two passes**:
 //!
 //! 1. a *mode-independent shape pass* ([`SliceShapes`]) computes, once per
-//!    mini-batch, the padded shape of every candidate slice (running max
-//!    extents over each window), deduplicated into a table of distinct
-//!    shapes — on sorted real-world batches most slices collapse onto a
-//!    few hundred distinct padded shapes;
+//!    mini-batch, the padded shape of every candidate slice via an
+//!    incremental extent structure: extending a slice by one sample
+//!    updates the running padded extents and the dedup lookup in O(1)
+//!    amortized (extents change rarely on sorted batches, and while they
+//!    are unchanged the shape id is a direct table index, not a hash) —
+//!    on sorted real-world batches most slices collapse onto a few
+//!    hundred distinct padded shapes;
 //! 2. a *mode-dependent cost pass* prices only the distinct shapes under a
-//!    given [`RecomputeMode`] and memory limit, then scatters the costs
-//!    back over the dense `(end, width)` grid.
+//!    given [`RecomputeMode`] and memory limit — as **one batched grid
+//!    solve** through [`dynapipe_cost::ShapeBatch`] (every distinct axis
+//!    coordinate located once, duplicate grid points collapsed) — then
+//!    scatters the costs back over the dense `(end, width)` grid.
 //!
-//! The §7 recompute sweep in the planner builds the shape pass once and
-//! re-prices it per mode, instead of recomputing shapes `|modes|` times.
+//! The §7 recompute sweep in the planner builds the shape pass and the
+//! batched query plan once and re-prices them per mode, instead of
+//! recomputing shapes and re-locating grid coordinates `|modes|` times.
 //!
 //! The outer `t_max` sweep runs its independent Eq. 2 solves on the rayon
 //! pool, in ascending candidate order, and exploits monotonicity for an
 //! exact early exit: the objective is bounded below by `(c-1)·t_max`, so
 //! once that ramp term alone reaches the best objective seen, no larger
-//! candidate can win and the sweep stops. Neither the parallelism nor the
-//! pruning changes which partition is selected; see
+//! candidate can win and the sweep stops. The prune bound is seeded by a
+//! golden-section probe over the candidate index. Neither the parallelism
+//! nor the pruning changes which partition is selected; see
 //! [`Partitioner::partition_reference`] and the equivalence tests.
 //!
 //! Memory awareness: micro-batches whose estimated activation footprint
@@ -37,7 +44,7 @@
 //! schedule's in-flight factor.
 
 use crate::microbatch::MicroBatch;
-use dynapipe_cost::CostModel;
+use dynapipe_cost::{CostModel, ShapeBatch};
 use dynapipe_data::Sample;
 use dynapipe_model::memory::RecomputeMode;
 use dynapipe_model::{Bytes, MicroBatchShape, Micros, ModelArch};
@@ -114,38 +121,57 @@ pub struct Partitioner<'a> {
 /// Sentinel shape id for dense cells outside the valid `(end, k)` domain.
 const NO_SHAPE: u32 = u32::MAX;
 
-/// Multiply-xor hasher for the shape-dedup map: the keys are already
-/// well-mixed packed integers, so SipHash's DoS resistance is wasted
-/// overhead in this hot loop.
-#[derive(Default)]
-struct PackedKeyHasher(u64);
+/// Shape-dedup map keyed on packed extents; hashed with the cost crate's
+/// shared multiply-xor [`dynapipe_cost::grid::CoordHasher`] (SipHash's
+/// DoS resistance is wasted overhead in this hot loop).
+type ShapeIdMap =
+    HashMap<u64, u32, std::hash::BuildHasherDefault<dynapipe_cost::grid::CoordHasher>>;
 
-impl std::hash::Hasher for PackedKeyHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.write_u64(b as u64);
-        }
-    }
-
-    fn write_u64(&mut self, x: u64) {
-        // splitmix64-style finalizer over the previous state.
-        let mut z = self.0 ^ x.wrapping_mul(0x9E3779B97F4A7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        self.0 = z ^ (z >> 31);
-    }
+/// Pack padded extents (input, target) into one u64 key.
+fn extent_key(eff_in: usize, eff_tg: usize) -> u64 {
+    debug_assert!(eff_in < (1 << 32) && eff_tg < (1 << 32));
+    (eff_in as u64) | (eff_tg as u64) << 32
 }
 
-type ShapeIdMap = HashMap<u64, u32, std::hash::BuildHasherDefault<PackedKeyHasher>>;
+/// The dedup side of the per-row incremental extent structure: each
+/// distinct padded extent pair owns a per-batch-size id table. While a
+/// row's running extents are unchanged — the common case on sorted
+/// batches, where only a handful of samples raise the window maximum —
+/// extending the slice by one sample resolves its shape id with a direct
+/// table index instead of hashing a full shape key, making the extension
+/// O(1) amortized (hashing happens only when the extents actually change).
+#[derive(Default)]
+struct ExtentDedup {
+    /// `extent_key(eff_in, eff_tg)` → index into `ids`.
+    groups: ShapeIdMap,
+    /// Per extent group: shape ids indexed by `k` (batch size − 1), grown
+    /// on demand; [`NO_SHAPE`] marks batch sizes not yet assigned.
+    ids: Vec<Vec<u32>>,
+}
 
-/// Pack a padded shape into one u64 key (batch ≤ 2^16, lengths < 2^24).
-fn shape_key(shape: &MicroBatchShape) -> u64 {
-    debug_assert!(shape.batch_size < (1 << 16));
-    debug_assert!(shape.enc_len < (1 << 24) && shape.dec_len < (1 << 24));
-    (shape.batch_size as u64) | (shape.enc_len as u64) << 16 | (shape.dec_len as u64) << 40
+impl ExtentDedup {
+    /// Group index for an extent pair (inserting an empty group if new).
+    fn group(&mut self, eff_in: usize, eff_tg: usize) -> usize {
+        let next = self.ids.len() as u32;
+        let g = *self.groups.entry(extent_key(eff_in, eff_tg)).or_insert(next);
+        if g == next {
+            self.ids.push(Vec::new());
+        }
+        g as usize
+    }
+
+    /// Shape id of batch size `k + 1` within `group`, assigning a fresh id
+    /// via `assign` on first use.
+    fn id_at(&mut self, group: usize, k: usize, assign: impl FnOnce() -> u32) -> u32 {
+        let row = &mut self.ids[group];
+        if row.len() <= k {
+            row.resize(k + 1, NO_SHAPE);
+        }
+        if row[k] == NO_SHAPE {
+            row[k] = assign();
+        }
+        row[k]
+    }
 }
 
 /// The mode-independent pass over one ordered mini-batch: the padded shape
@@ -191,36 +217,46 @@ impl SliceShapes {
                 .iter()
                 .all(|s| s.input_len < (1 << 23) && s.target_len < (1 << 23)),
             "sample lengths must stay below 2^23 tokens (so padded extents, \
-             including GPT's input+target, fit the 24-bit key fields)"
+             including GPT's input+target, fit the packed extent keys)"
         );
         let mut cell = vec![NO_SHAPE; n * width];
         let mut distinct: Vec<MicroBatchShape> = Vec::new();
-        let mut ids: ShapeIdMap = ShapeIdMap::default();
+        let mut dedup = ExtentDedup::default();
         for end in 1..=n {
+            // Per-row incremental extents: the slice covering `end-1-k..end`
+            // extends the previous cell's slice by one sample at the left,
+            // so the padded extents are a running max and the dedup group
+            // is re-resolved only when a sample actually raises them.
             let mut max_in = 0usize;
             let mut max_tg = 0usize;
+            let mut group = usize::MAX;
             for k in 0..width.min(end) {
                 let s = &samples[end - 1 - k];
                 // For GPT ordering, per-sample padding is on the combined
                 // length; track both extents and combine below.
-                match arch {
-                    ModelArch::Gpt => {
-                        max_in = max_in.max(s.gpt_len());
-                    }
-                    ModelArch::T5 => {
-                        max_in = max_in.max(s.input_len);
-                        max_tg = max_tg.max(s.target_len);
-                    }
-                }
-                let shape = match arch {
-                    ModelArch::Gpt => MicroBatchShape::gpt(k + 1, max_in.max(1)),
-                    ModelArch::T5 => MicroBatchShape::t5(k + 1, max_in.max(1), max_tg.max(1)),
+                let (s_in, s_tg) = match arch {
+                    ModelArch::Gpt => (s.gpt_len(), 0),
+                    ModelArch::T5 => (s.input_len, s.target_len),
                 };
-                let next_id = distinct.len() as u32;
-                let id = *ids.entry(shape_key(&shape)).or_insert(next_id);
-                if id == next_id {
-                    distinct.push(shape);
+                if s_in > max_in || s_tg > max_tg || group == usize::MAX {
+                    max_in = max_in.max(s_in);
+                    max_tg = max_tg.max(s_tg);
+                    let (eff_in, eff_tg) = match arch {
+                        ModelArch::Gpt => (max_in.max(1), 0),
+                        ModelArch::T5 => (max_in.max(1), max_tg.max(1)),
+                    };
+                    group = dedup.group(eff_in, eff_tg);
                 }
+                let id = dedup.id_at(group, k, || {
+                    let shape = match arch {
+                        ModelArch::Gpt => MicroBatchShape::gpt(k + 1, max_in.max(1)),
+                        ModelArch::T5 => {
+                            MicroBatchShape::t5(k + 1, max_in.max(1), max_tg.max(1))
+                        }
+                    };
+                    distinct.push(shape);
+                    (distinct.len() - 1) as u32
+                });
                 cell[(end - 1) * width + k] = id;
             }
         }
@@ -261,21 +297,27 @@ impl SliceShapes {
 }
 
 /// Mode-independent forward times (`t_f`) per distinct slice shape — the
-/// second shareable table of the two-pass design. Forward cost does not
-/// depend on the recomputation mode, so the §7 sweep prices it once and
-/// each mode's cost pass only adds its backward + recompute half.
+/// second shareable table of the two-pass design — plus the batched grid
+/// query plan over those shapes. Forward cost does not depend on the
+/// recomputation mode, so the §7 sweep prices it once; the query plan's
+/// located coordinates are likewise mode-independent (every mode's grids
+/// share the profile's sampling axes), so each mode's cost pass re-prices
+/// the same plan instead of re-locating thousands of coordinates.
 pub struct SliceFwdCosts {
     fwd: Vec<Micros>,
+    /// Shared located grid coordinates of the distinct shapes.
+    batch: ShapeBatch,
 }
 
 impl SliceFwdCosts {
-    /// Price the forward half of every distinct shape.
+    /// Locate the distinct shapes' grid coordinates once and price the
+    /// forward half of every distinct shape in one batched solve.
     pub fn build(cm: &CostModel, shapes: &SliceShapes) -> SliceFwdCosts {
         // Forward grids are identical across modes; `None` is arbitrary.
         let pricer = cm.shape_pricer(RecomputeMode::None);
-        SliceFwdCosts {
-            fwd: shapes.distinct.iter().map(|s| pricer.mb_fwd(s)).collect(),
-        }
+        let batch = pricer.locate_batch(&shapes.distinct);
+        let fwd = pricer.mb_fwd_batch(&batch);
+        SliceFwdCosts { fwd, batch }
     }
 }
 
@@ -399,22 +441,27 @@ impl<'a> Partitioner<'a> {
         SliceShapes::build(self.cm.model.arch, ordered, self.config.max_mb_samples)
     }
 
-    /// The mode-dependent cost pass: price each distinct shape once under
-    /// this partitioner's recompute mode and memory limit, then scatter
-    /// onto the dense grid. Pricing goes through
-    /// [`dynapipe_cost::ShapePricer`] — the cost model's resolved hot-loop
-    /// view, bit-identical to `mb_time`/`mb_activation_max` — and reuses
-    /// the shared mode-independent forward table, adding only this mode's
-    /// backward + recompute half (`t = t_f + t_b`, exactly Eq. 1's sum).
+    /// The mode-dependent cost pass: price every distinct shape under this
+    /// partitioner's recompute mode and memory limit as **one batched
+    /// solve per mode**, then scatter onto the dense grid. Pricing goes
+    /// through [`dynapipe_cost::ShapePricer`]'s batched methods against
+    /// the shared query plan in `fwd` — bit-identical to per-shape
+    /// `mb_time`/`mb_activation_max` calls, with every grid coordinate
+    /// located once per mini-batch instead of once per shape per mode —
+    /// and reuses the shared mode-independent forward table, adding only
+    /// this mode's backward + recompute half (`t = t_f + t_b`, exactly
+    /// Eq. 1's sum).
     fn cost_pass(&self, shapes: &SliceShapes, fwd: &SliceFwdCosts) -> SliceCosts {
         let limit = self.config.mb_memory_limit;
         let pricer = self.cm.shape_pricer(self.config.recompute);
+        let act = pricer.mb_activation_max_batch(&fwd.batch);
+        let bwd = pricer.mb_bwd_batch(&fwd.batch);
         let mut shape_time = vec![f64::INFINITY; shapes.distinct.len()];
         let mut shape_feasible = vec![false; shapes.distinct.len()];
-        for (i, shape) in shapes.distinct.iter().enumerate() {
-            if pricer.mb_activation_max(shape) <= limit {
+        for i in 0..shapes.distinct.len() {
+            if act[i] <= limit {
                 shape_feasible[i] = true;
-                shape_time[i] = fwd.fwd[i] + pricer.mb_bwd(shape);
+                shape_time[i] = fwd.fwd[i] + bwd[i];
             }
         }
         let mut time = vec![f64::INFINITY; shapes.cell.len()];
@@ -515,9 +562,14 @@ impl<'a> Partitioner<'a> {
     /// prune bound, no larger candidate can improve on it (the sum term is
     /// non-negative).
     ///
-    /// Before the ascending sweep, a handful of spread-out probe solves
-    /// seed the prune bound. Any candidate's true objective is a valid
-    /// bound: the optimal candidate `t*` satisfies
+    /// Before the ascending sweep, a golden-section probe over the
+    /// candidate *index* seeds the prune bound: the objective trades the
+    /// ramp term `(c-1)·t_max` (increasing in `t_max`) against the sum
+    /// term (non-increasing), so it is near-unimodal over the candidates
+    /// and the probe narrows onto a low objective in `O(log n)` solves
+    /// instead of probing fixed fractions. Any candidate's true objective
+    /// is a valid bound — non-unimodality can only weaken the bound, never
+    /// break correctness: the optimal candidate `t*` satisfies
     /// `(c-1)·t* < obj(t*) <= bound` strictly (its sum term is positive),
     /// so it is never pruned, and every pruned candidate has
     /// `obj >= (c-1)·t_max >= bound >= obj(t*)`, so it could neither win
@@ -541,16 +593,63 @@ impl<'a> Partitioner<'a> {
         let mut cache: Vec<Option<Option<(Micros, Vec<usize>)>>> = vec![None; candidates.len()];
         let mut prune_bound = f64::INFINITY;
         if candidates.len() >= 16 {
-            let probes: Vec<usize> = (1..8).map(|i| i * candidates.len() / 8).collect();
-            let solved: Vec<Option<(Micros, Vec<usize>)>> = probes
-                .par_iter()
-                .map(|&i| rows.solve(n, candidates[i]))
-                .collect();
-            for (&i, sol) in probes.iter().zip(solved) {
-                if let Some((sum, _)) = &sol {
-                    prune_bound = prune_bound.min(objective(candidates[i], *sum));
+            // Infeasible candidates evaluate to +inf, which steers the
+            // bracket toward the (larger, feasible) side.
+            let eval = |i: usize,
+                            cache: &mut Vec<Option<Option<(Micros, Vec<usize>)>>>|
+             -> Micros {
+                if cache[i].is_none() {
+                    cache[i] = Some(rows.solve(n, candidates[i]));
                 }
-                cache[i] = Some(sol);
+                match cache[i].as_ref().expect("just filled") {
+                    Some((sum, _)) => objective(candidates[i], *sum),
+                    None => f64::INFINITY,
+                }
+            };
+            const INVPHI: f64 = 0.618_033_988_749_895; // (√5 − 1) / 2
+            let probe_at =
+                |a: usize, b: usize, frac: f64| a + ((b - a) as f64 * frac).round() as usize;
+            let (mut a, mut b) = (0usize, candidates.len() - 1);
+            let mut x1 = probe_at(a, b, 1.0 - INVPHI);
+            let mut x2 = probe_at(a, b, INVPHI);
+            // Solve the opening bracket pair as one parallel wave — the
+            // bracket-narrowing iterations are inherently sequential, but
+            // this keeps the probe from paying two solve latencies up
+            // front on wide pools.
+            let pair: Vec<(usize, Option<(Micros, Vec<usize>)>)> = [x1, x2]
+                .par_iter()
+                .map(|&i| (i, rows.solve(n, candidates[i])))
+                .collect();
+            for (i, sol) in pair {
+                if cache[i].is_none() {
+                    cache[i] = Some(sol);
+                }
+            }
+            let mut f1 = eval(x1, &mut cache);
+            let mut f2 = eval(x2, &mut cache);
+            prune_bound = prune_bound.min(f1).min(f2);
+            // Stop once the bracket is a small fraction of the candidate
+            // set: by then the bound sits near the basin floor, and the
+            // ascending sweep resolves the exact argmin anyway.
+            let stop = (candidates.len() / 16).max(2);
+            let mut iters = 0usize;
+            while b - a > stop && iters < 32 {
+                iters += 1;
+                if f1 <= f2 {
+                    b = x2;
+                    x2 = x1;
+                    f2 = f1;
+                    x1 = probe_at(a, b, 1.0 - INVPHI);
+                    f1 = eval(x1, &mut cache);
+                    prune_bound = prune_bound.min(f1);
+                } else {
+                    a = x1;
+                    x1 = x2;
+                    f1 = f2;
+                    x2 = probe_at(a, b, INVPHI);
+                    f2 = eval(x2, &mut cache);
+                    prune_bound = prune_bound.min(f2);
+                }
             }
         }
 

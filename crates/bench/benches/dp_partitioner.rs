@@ -64,6 +64,70 @@ fn bench_partitioner(c: &mut Criterion) {
             },
         );
     }
+    // The pricing layer in isolation: scalar per-shape grid queries vs
+    // one batched solve against a shared query plan (what the cost pass
+    // does per mode). Run on the distinct shapes of a 65k-token
+    // mini-batch.
+    {
+        let p = Partitioner::new(&cm, DpConfig::new(cm.min_activation_budget()));
+        let shapes = p.shape_pass(&samples);
+        let distinct = shapes.distinct_shapes().to_vec();
+        group.bench_with_input(
+            BenchmarkId::new("price_scalar", distinct.len()),
+            &distinct,
+            |b, distinct| {
+                let pricer = cm.shape_pricer(RecomputeMode::Selective);
+                b.iter(|| {
+                    let mut acc = 0.0f64;
+                    for s in std::hint::black_box(distinct) {
+                        acc += pricer.mb_fwd(s) + pricer.mb_bwd(s);
+                        acc += pricer.mb_activation_max(s) as f64;
+                    }
+                    acc
+                })
+            },
+        );
+        // Cold: plan build (locate) + pricing, what a one-shot caller pays.
+        group.bench_with_input(
+            BenchmarkId::new("price_batched_cold", distinct.len()),
+            &distinct,
+            |b, distinct| {
+                let pricer = cm.shape_pricer(RecomputeMode::Selective);
+                b.iter(|| {
+                    let batch = pricer.locate_batch(std::hint::black_box(distinct));
+                    let fwd = pricer.mb_fwd_batch(&batch);
+                    let bwd = pricer.mb_bwd_batch(&batch);
+                    let act = pricer.mb_activation_max_batch(&batch);
+                    let mut acc = 0.0f64;
+                    for i in 0..distinct.len() {
+                        acc += fwd[i] + bwd[i] + act[i] as f64;
+                    }
+                    acc
+                })
+            },
+        );
+        // Warm: plan located once and re-priced, what each recompute mode
+        // of the §7 sweep pays after `SliceFwdCosts` built the plan.
+        group.bench_with_input(
+            BenchmarkId::new("price_batched_warm", distinct.len()),
+            &distinct,
+            |b, distinct| {
+                let pricer = cm.shape_pricer(RecomputeMode::Selective);
+                let batch = pricer.locate_batch(distinct);
+                b.iter(|| {
+                    let fwd = pricer.mb_fwd_batch(std::hint::black_box(&batch));
+                    let bwd = pricer.mb_bwd_batch(&batch);
+                    let act = pricer.mb_activation_max_batch(&batch);
+                    let mut acc = 0.0f64;
+                    for i in 0..distinct.len() {
+                        acc += fwd[i] + bwd[i] + act[i] as f64;
+                    }
+                    acc
+                })
+            },
+        );
+    }
+
     // The §7 sweep's de-duplication win in isolation: one mini-batch, all
     // recompute modes. "rebuild" reruns the full two-pass build per mode
     // (what a context-free caller pays); "shared" reuses one shape pass

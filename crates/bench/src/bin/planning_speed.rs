@@ -8,28 +8,40 @@
 //!   ([`Partitioner::partition_reference`]): per-mode slice-table rebuild,
 //!   full `t_max` candidate sweep, no parallelism, no pruning;
 //! * **optimized**: the production path: one mode-independent shape pass
-//!   shared across all recompute modes, deduplicated cost pricing, and the
-//!   pruned parallel `t_max` sweep.
+//!   shared across all recompute modes, batched deduplicated cost pricing
+//!   (one grid solve per mode against a shared query plan), and the
+//!   pruned parallel `t_max` sweep seeded by a golden-section probe.
 //!
 //! Emits `BENCH_planning.json` with `{serial_us, parallel_us, speedup}`
-//! (plus per-model breakdowns) so future changes have a planning-time
-//! trajectory to compare against. Equivalence of the chosen objectives is
-//! asserted on every measured mini-batch — the speed-up must never come
-//! from choosing different partitions.
+//! plus per-model breakdowns including **distinct-shape counts** and
+//! **grid-query counters** (scalar queries vs batched points/cells), so
+//! pricing-layer regressions are visible in the artifact, not just the
+//! wall clock. Equivalence of the chosen partitions is checked on every
+//! measured mini-batch — the speed-up must never come from choosing
+//! different partitions — and any divergence makes the bench exit
+//! nonzero after reporting every offending case.
 
 use dynapipe_batcher::{sort_samples, DpConfig, Partitioner, SliceFwdCosts};
 use dynapipe_bench::{probe_minibatches, write_json, BenchOpts, Point};
-use dynapipe_cost::{CostModel, ProfileOptions};
+use dynapipe_cost::{grid_query_stats, CostModel, GridQueryStats, ProfileOptions};
 use dynapipe_data::{Dataset, Sample};
 use dynapipe_model::memory::RecomputeMode;
 use dynapipe_model::{HardwareModel, ModelConfig, ParallelConfig};
+use std::ops::Range;
 use std::time::Instant;
 
 struct ModelRun {
     name: &'static str,
     serial_us: f64,
     parallel_us: f64,
+    distinct_shapes: u64,
+    serial_queries: GridQueryStats,
+    opt_queries: GridQueryStats,
+    divergences: usize,
 }
+
+/// What each path chose for one (mini-batch, mode) case.
+type Outcome = Option<(f64, Vec<Range<usize>>)>;
 
 fn dp_config(cm: &CostModel, mode: RecomputeMode) -> DpConfig {
     let mut cfg = DpConfig::new(cm.min_activation_budget());
@@ -57,43 +69,65 @@ fn run_model(
 
     // Serial reference: rebuild the fused slice table per recompute mode,
     // full candidate sweep.
+    let stats0 = grid_query_stats();
     let t0 = Instant::now();
-    let mut serial_objectives = Vec::new();
+    let mut serial_outcomes: Vec<Outcome> = Vec::new();
     for mb in &ordered {
         for mode in RecomputeMode::ALL {
             let p = Partitioner::new(&cm, dp_config(&cm, mode));
-            serial_objectives.push(
+            serial_outcomes.push(
                 p.partition_reference(mb)
-                    .map(|r| r.est_iteration_time),
+                    .map(|r| (r.est_iteration_time, r.ranges)),
             );
         }
     }
     let serial_us = t0.elapsed().as_secs_f64() * 1e6;
+    let stats1 = grid_query_stats();
 
-    // Optimized: one shared shape pass per mini-batch, per-mode re-pricing,
-    // pruned parallel t_max sweep.
+    // Optimized: one shared shape pass + batched query plan per
+    // mini-batch, per-mode re-pricing, pruned parallel t_max sweep.
     let t1 = Instant::now();
-    let mut fast_objectives = Vec::new();
+    let mut fast_outcomes: Vec<Outcome> = Vec::new();
+    let mut distinct_shapes = 0u64;
     for mb in &ordered {
         let shapes = Partitioner::new(&cm, dp_config(&cm, RecomputeMode::None)).shape_pass(mb);
+        distinct_shapes += shapes.num_distinct_shapes() as u64;
         let fwd = SliceFwdCosts::build(&cm, &shapes);
         for mode in RecomputeMode::ALL {
             let p = Partitioner::new(&cm, dp_config(&cm, mode));
-            fast_objectives.push(
+            fast_outcomes.push(
                 p.partition_with_context(&shapes, &fwd, mb)
-                    .map(|r| r.est_iteration_time),
+                    .map(|r| (r.est_iteration_time, r.ranges)),
             );
         }
     }
     let parallel_us = t1.elapsed().as_secs_f64() * 1e6;
+    let stats2 = grid_query_stats();
 
-    for (i, (s, f)) in serial_objectives.iter().zip(&fast_objectives).enumerate() {
+    let mut divergences = 0usize;
+    for (i, (s, f)) in serial_outcomes.iter().zip(&fast_outcomes).enumerate() {
         match (s, f) {
-            (Some(s), Some(f)) => assert!(
-                (s - f).abs() <= 1e-9 * s.abs().max(1.0),
-                "{name} case {i}: objective diverged (serial {s}, optimized {f})"
-            ),
-            (s, f) => assert_eq!(s.is_none(), f.is_none(), "{name} case {i}: feasibility"),
+            (Some((so, sr)), Some((fo, fr))) => {
+                if (so - fo).abs() > 1e-9 * so.abs().max(1.0) || sr != fr {
+                    divergences += 1;
+                    eprintln!(
+                        "DIVERGENCE {name} case {i}: serial obj {so} ({} ranges) vs \
+                         optimized obj {fo} ({} ranges)",
+                        sr.len(),
+                        fr.len()
+                    );
+                }
+            }
+            (s, f) => {
+                if s.is_none() != f.is_none() {
+                    divergences += 1;
+                    eprintln!(
+                        "DIVERGENCE {name} case {i}: feasibility (serial {}, optimized {})",
+                        s.is_some(),
+                        f.is_some()
+                    );
+                }
+            }
         }
     }
 
@@ -104,10 +138,24 @@ fn run_model(
         serial_us / parallel_us,
         ordered.len(),
     );
+    let serial_queries = stats1.since(&stats0);
+    let opt_queries = stats2.since(&stats1);
+    println!(
+        "        {} distinct shapes | serial {} scalar queries | optimized {} scalar + {} batched points -> {} cells",
+        distinct_shapes,
+        serial_queries.scalar,
+        opt_queries.scalar,
+        opt_queries.batch_points,
+        opt_queries.batch_cells,
+    );
     ModelRun {
         name,
         serial_us,
         parallel_us,
+        distinct_shapes,
+        serial_queries,
+        opt_queries,
+        divergences,
     }
 }
 
@@ -138,12 +186,21 @@ fn main() {
     let per_model = serde_json::Value::Object(
         runs.iter()
             .map(|r| {
+                let grid_queries = serde_json::json!({
+                    "serial_scalar": r.serial_queries.scalar,
+                    "optimized_scalar": r.opt_queries.scalar,
+                    "optimized_batch_points": r.opt_queries.batch_points,
+                    "optimized_batch_cells": r.opt_queries.batch_cells,
+                    "optimized_batch_evals": r.opt_queries.batch_evals,
+                });
                 (
                     r.name.to_string(),
                     serde_json::json!({
                         "serial_us": r.serial_us,
                         "parallel_us": r.parallel_us,
                         "speedup": r.serial_us / r.parallel_us,
+                        "distinct_shapes": r.distinct_shapes,
+                        "grid_queries": grid_queries,
                     }),
                 )
             })
@@ -172,4 +229,12 @@ fn main() {
         Err(e) => eprintln!("warning: could not serialize: {e}"),
     }
     write_json("planning_speed", &out);
+
+    // Fail loudly: a silent partition divergence would let a broken
+    // optimization masquerade as a speed-up.
+    let divergences: usize = runs.iter().map(|r| r.divergences).sum();
+    if divergences > 0 {
+        eprintln!("error: {divergences} case(s) diverged from partition_reference");
+        std::process::exit(1);
+    }
 }

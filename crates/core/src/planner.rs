@@ -139,8 +139,10 @@ pub struct DynaPipePlanner {
 
 /// Reusable per-mini-batch planning state shared across the §7
 /// recompute-mode sweep: the ordered samples, the activation budget, and
-/// the DP partitioner's mode-independent slice shape pass (built once,
-/// re-priced per mode).
+/// the DP partitioner's mode-independent passes — the slice shape pass
+/// and the forward-cost table with its batched grid-query plan (every
+/// distinct shape's grid coordinates located once; each mode's cost pass
+/// re-prices that plan instead of re-locating).
 pub struct PlanContext<'a> {
     /// The mini-batch, already ordered by the planner's strategy.
     pub ordered: &'a [Sample],
@@ -148,7 +150,8 @@ pub struct PlanContext<'a> {
     pub budget: Bytes,
     /// Shared shape pass over `ordered`.
     pub shapes: SliceShapes,
-    /// Shared mode-independent forward times for the shape pass.
+    /// Shared mode-independent forward times and located grid-query plan
+    /// for the shape pass.
     pub fwd: SliceFwdCosts,
 }
 

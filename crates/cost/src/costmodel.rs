@@ -320,6 +320,43 @@ pub struct ShapePricer<'a> {
     tp: u64,
 }
 
+/// Located grid coordinates for a batch of [`MicroBatchShape`]s — the
+/// shape-level face of the cost layer's batched query plan (see
+/// [`ShapePricer::locate_batch`]).
+///
+/// The plan depends only on the shapes and the profile's sampling axes.
+/// Those axes are shared by every recomputation mode's grids (forward,
+/// backward, per-mode recompute and activation profiles are all built over
+/// the same axes), so one `ShapeBatch` can be priced by pricers of
+/// *different* modes — the §7 recompute sweep locates once and re-prices
+/// per mode.
+pub struct ShapeBatch {
+    /// Encoder-side plan over `(batch, enc_len, 0)`; `None` when no stage
+    /// has encoder layers (the scalar path never queries those grids).
+    enc: Option<crate::grid::BatchQuery>,
+    /// Decoder-side plan over the decoder grid coordinates.
+    dec: Option<crate::grid::BatchQuery>,
+    /// LM-head plan over `(target_tokens, 0, 0)`.
+    lm: crate::grid::BatchQuery,
+    /// Padded token counts (the activation formula's shape term).
+    padded_tokens: Vec<u64>,
+    /// Shapes with `batch_size == 0` short-circuit to zero cost, exactly
+    /// like the scalar methods.
+    empty: Vec<bool>,
+}
+
+impl ShapeBatch {
+    /// Number of shapes in the batch.
+    pub fn len(&self) -> usize {
+        self.empty.len()
+    }
+
+    /// Whether the batch holds no shapes.
+    pub fn is_empty(&self) -> bool {
+        self.empty.is_empty()
+    }
+}
+
 impl<'a> ShapePricer<'a> {
     fn target_tokens(&self, shape: &MicroBatchShape) -> usize {
         if self.gpt_target {
@@ -453,6 +490,176 @@ impl<'a> ShapePricer<'a> {
             .max()
             .unwrap_or(0)
     }
+
+    /// Build the batched query plan for `shapes`: each distinct grid
+    /// coordinate located once, duplicate points collapsed (a big win for
+    /// T5, where many distinct padded shapes share their encoder-side
+    /// `(batch, enc_len)` point). The plan is mode-independent — see
+    /// [`ShapeBatch`] — and feeds [`ShapePricer::mb_fwd_batch`] /
+    /// [`ShapePricer::mb_bwd_batch`] /
+    /// [`ShapePricer::mb_activation_max_batch`].
+    pub fn locate_batch(&self, shapes: &[MicroBatchShape]) -> ShapeBatch {
+        let enc = self.any_enc.then(|| {
+            let g = self.enc.fwd;
+            g.plan_queries(shapes.iter().map(|s| {
+                let (q, kv) = self.enc.coords(s);
+                (s.batch_size, q, kv)
+            }))
+        });
+        // Decoder-side coordinates are an injective image of the shape
+        // triple, and callers price deduplicated shape tables, so skip the
+        // (useless there) duplicate-cell detection.
+        let dec = self.any_dec.then(|| {
+            let g = self.dec.fwd;
+            g.plan_queries_distinct(shapes.iter().map(|s| {
+                let (q, kv) = self.dec.coords(s);
+                (s.batch_size, q, kv)
+            }))
+        });
+        let lm = self
+            .lm_head_fwd
+            .plan_queries(shapes.iter().map(|s| (self.target_tokens(s), 0, 0)));
+        ShapeBatch {
+            enc,
+            dec,
+            lm,
+            padded_tokens: shapes.iter().map(MicroBatchShape::padded_tokens).collect(),
+            empty: shapes.iter().map(|s| s.batch_size == 0).collect(),
+        }
+    }
+
+    /// Evaluate one layer side's per-shape values, or a shared zero vector
+    /// when the deployment has no such layers (the scalar paths use 0.0).
+    fn side_values(
+        plan: &Option<crate::grid::BatchQuery>,
+        n: usize,
+        eval: impl FnOnce(&crate::grid::BatchQuery) -> Vec<f64>,
+    ) -> Vec<f64> {
+        match plan {
+            Some(p) => eval(p),
+            None => vec![0.0; n],
+        }
+    }
+
+    /// Batched [`ShapePricer::mb_fwd`]: element `i` is bit-identical to
+    /// `self.mb_fwd(&shapes[i])` for the shapes the batch was located on.
+    pub fn mb_fwd_batch(&self, batch: &ShapeBatch) -> Vec<Micros> {
+        let n = batch.len();
+        let enc_fwd = Self::side_values(&batch.enc, n, |p| {
+            let mut v = Vec::new();
+            self.enc.fwd.query_batch(p, &mut v);
+            v
+        });
+        let dec_fwd = Self::side_values(&batch.dec, n, |p| {
+            let mut v = Vec::new();
+            self.dec.fwd.query_batch(p, &mut v);
+            v
+        });
+        let mut lm = Vec::new();
+        self.lm_head_fwd.query_batch(&batch.lm, &mut lm);
+        (0..n)
+            .map(|i| {
+                if batch.empty[i] {
+                    return 0.0;
+                }
+                let mut fwd_max = 0.0f64;
+                for st in &self.stages {
+                    let mut fwd = 0.0;
+                    if st.encoder_layers > 0 {
+                        fwd += st.encoder_layers as f64 * enc_fwd[i];
+                    }
+                    if st.decoder_layers > 0 {
+                        fwd += st.decoder_layers as f64 * dec_fwd[i];
+                    }
+                    if st.has_lm_head {
+                        fwd += lm[i];
+                    }
+                    fwd_max = fwd_max.max(fwd);
+                }
+                fwd_max
+            })
+            .collect()
+    }
+
+    /// Batched [`ShapePricer::mb_bwd`] under this pricer's mode.
+    pub fn mb_bwd_batch(&self, batch: &ShapeBatch) -> Vec<Micros> {
+        let n = batch.len();
+        let enc_bwd = Self::side_values(&batch.enc, n, |p| {
+            let (mut b, mut r) = (Vec::new(), Vec::new());
+            self.enc.bwd.query_batch(p, &mut b);
+            self.enc.recompute.query_batch(p, &mut r);
+            b.iter().zip(&r).map(|(x, y)| x + y).collect()
+        });
+        let dec_bwd = Self::side_values(&batch.dec, n, |p| {
+            let (mut b, mut r) = (Vec::new(), Vec::new());
+            self.dec.bwd.query_batch(p, &mut b);
+            self.dec.recompute.query_batch(p, &mut r);
+            b.iter().zip(&r).map(|(x, y)| x + y).collect()
+        });
+        let mut lm = Vec::new();
+        self.lm_head_fwd.query_batch(&batch.lm, &mut lm);
+        (0..n)
+            .map(|i| {
+                if batch.empty[i] {
+                    return 0.0;
+                }
+                let mut bwd_max = 0.0f64;
+                for st in &self.stages {
+                    let mut bwd = 0.0;
+                    if st.encoder_layers > 0 {
+                        bwd += st.encoder_layers as f64 * enc_bwd[i];
+                    }
+                    if st.decoder_layers > 0 {
+                        bwd += st.decoder_layers as f64 * dec_bwd[i];
+                    }
+                    if st.has_lm_head {
+                        bwd += self.backward_ratio * lm[i];
+                    }
+                    bwd_max = bwd_max.max(bwd);
+                }
+                bwd_max
+            })
+            .collect()
+    }
+
+    /// Batched [`ShapePricer::mb_activation_max`] under this pricer's mode.
+    pub fn mb_activation_max_batch(&self, batch: &ShapeBatch) -> Vec<Bytes> {
+        let n = batch.len();
+        let enc_act = Self::side_values(&batch.enc, n, |p| {
+            let mut v = Vec::new();
+            self.enc.activation.query_batch(p, &mut v);
+            v
+        });
+        let dec_act = Self::side_values(&batch.dec, n, |p| {
+            let mut v = Vec::new();
+            self.dec.activation.query_batch(p, &mut v);
+            v
+        });
+        (0..n)
+            .map(|i| {
+                if batch.empty[i] {
+                    return 0;
+                }
+                // Same operand values and division order as the scalar
+                // path (integer division must not be re-associated).
+                let input = batch.padded_tokens[i] * self.hidden_act_bytes / self.tp;
+                self.stages
+                    .iter()
+                    .map(|st| {
+                        let mut bytes = 0.0f64;
+                        if st.encoder_layers > 0 {
+                            bytes += st.encoder_layers as f64 * enc_act[i];
+                        }
+                        if st.decoder_layers > 0 {
+                            bytes += st.decoder_layers as f64 * dec_act[i];
+                        }
+                        bytes as Bytes + input
+                    })
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -555,6 +762,61 @@ mod tests {
             cm2.boundary_bytes(0, &shape),
             cm1.boundary_bytes(0, &shape) / 2
         );
+    }
+
+    #[test]
+    fn batched_pricing_bit_identical_to_scalar_across_modes() {
+        // One mode-independent ShapeBatch, priced by pricers of every
+        // recomputation mode, must reproduce the scalar per-shape methods
+        // exactly — this is the contract the DP partitioner's batched cost
+        // pass relies on.
+        for cm in [gpt_cm(4), t5_cm(4)] {
+            let shapes: Vec<MicroBatchShape> = match cm.model.arch {
+                ModelArch::Gpt => vec![
+                    MicroBatchShape::gpt(1, 37),
+                    MicroBatchShape::gpt(3, 900),
+                    MicroBatchShape::gpt(3, 900), // duplicate point
+                    MicroBatchShape::empty(),
+                    MicroBatchShape::gpt(64, 100_000), // above-range
+                ],
+                ModelArch::T5 => vec![
+                    MicroBatchShape::t5(2, 512, 64),
+                    MicroBatchShape::t5(2, 512, 96), // shared enc point
+                    MicroBatchShape::t5(7, 3000, 333),
+                    MicroBatchShape::empty(),
+                    MicroBatchShape::t5(64, 100_000, 9000), // above-range
+                ],
+            };
+            let batch = cm
+                .shape_pricer(RecomputeMode::None)
+                .locate_batch(&shapes);
+            for mode in RecomputeMode::ALL {
+                let pricer = cm.shape_pricer(mode);
+                let fwd = pricer.mb_fwd_batch(&batch);
+                let bwd = pricer.mb_bwd_batch(&batch);
+                let act = pricer.mb_activation_max_batch(&batch);
+                for (i, s) in shapes.iter().enumerate() {
+                    assert_eq!(
+                        fwd[i].to_bits(),
+                        pricer.mb_fwd(s).to_bits(),
+                        "{:?} mode {mode:?} shape {i}: fwd diverged",
+                        cm.model.arch
+                    );
+                    assert_eq!(
+                        bwd[i].to_bits(),
+                        pricer.mb_bwd(s).to_bits(),
+                        "{:?} mode {mode:?} shape {i}: bwd diverged",
+                        cm.model.arch
+                    );
+                    assert_eq!(
+                        act[i],
+                        pricer.mb_activation_max(s),
+                        "{:?} mode {mode:?} shape {i}: activation diverged",
+                        cm.model.arch
+                    );
+                }
+            }
+        }
     }
 
     #[test]

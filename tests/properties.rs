@@ -5,7 +5,7 @@ use dynapipe_batcher::{
     karmarkar_karp, pack_samples, sort_samples, tsp_order, DpConfig, MicroBatch, Partitioner,
 };
 use dynapipe_comm::{naive_plan, plan_communication, verify_deadlock_free, PlanInputs};
-use dynapipe_cost::{CostModel, ProfileOptions};
+use dynapipe_cost::{Axis, CostModel, NdGrid, ProfileOptions};
 use dynapipe_data::Sample;
 use dynapipe_model::memory::RecomputeMode;
 use dynapipe_model::{
@@ -159,6 +159,85 @@ proptest! {
             prop_assert!(p <= 250);
         }
         prop_assert!(evaluate_schedule(&s2, &input).is_ok());
+    }
+
+    #[test]
+    fn adaptive_converges_and_respects_heterogeneous_limits(
+        m in 1usize..12,
+        c in 1usize..6,
+        acts in proptest::collection::vec(1u64..400, 72),
+        headroom in proptest::collection::vec(0u64..600, 6),
+    ) {
+        // Random per-(micro-batch, stage) activation sizes and random
+        // per-stage limits exercise the head-of-line blocking path (a
+        // deferred forward pushed back to the buffer head): the schedule
+        // must still converge (no guard panic), stay well-formed, and keep
+        // every stage's peak within its own limit.
+        let mut input = ScheduleInput::uniform(m, c, 10.0, 20.0, 0);
+        input.act = (0..m)
+            .map(|i| (0..c).map(|j| acts[(i * c + j) % acts.len()]).collect())
+            .collect();
+        // Feasibility requires each stage to fit its largest single
+        // activation; add random (possibly zero) headroom on top so some
+        // stages block injection hard and others barely at all.
+        input.mem_limit = (0..c)
+            .map(|j| {
+                let worst = (0..m).map(|i| input.act[i][j]).max().unwrap_or(1);
+                worst + headroom[j % headroom.len()]
+            })
+            .collect();
+        let s = adaptive_schedule(&input);
+        s.validate(m).map_err(|e| TestCaseError::fail(format!("invalid schedule: {e}")))?;
+        let peaks = s.peak_memory(&input.act);
+        for (j, &p) in peaks.iter().enumerate() {
+            prop_assert!(
+                p <= input.mem_limit[j],
+                "stage {j} peak {p} exceeds limit {}",
+                input.mem_limit[j]
+            );
+        }
+        prop_assert!(evaluate_schedule(&s, &input).is_ok());
+    }
+
+    #[test]
+    fn batched_grid_queries_match_scalar_bitwise(
+        raw0 in proptest::collection::vec(1usize..5000, 1..8),
+        raw1 in proptest::collection::vec(1usize..5000, 1..8),
+        raw2 in proptest::collection::vec(1usize..5000, 1..8),
+        coeffs in (0.1f64..10.0, 0.1f64..10.0, 0.1f64..10.0),
+        points in proptest::collection::vec(
+            (0usize..8000, 0usize..8000, 0usize..8000),
+            1..40,
+        ),
+    ) {
+        // Random axes (sorted, deduplicated), random sample data, random
+        // query points including below-range (clamping) and above-range
+        // (extrapolating) coordinates: the batched path must reproduce the
+        // scalar `NdGrid::query` bit for bit.
+        let axis = |mut v: Vec<usize>| {
+            v.sort_unstable();
+            v.dedup();
+            Axis::new(v)
+        };
+        let (ca, cb, cc) = coeffs;
+        let g = NdGrid::build(axis(raw0), axis(raw1), axis(raw2), |x0, x1, x2| {
+            ca * x0 as f64 + cb * (x1 as f64).sqrt() + cc * (x0 * x2) as f64
+        });
+        let batch = g.plan_queries(points.iter().copied());
+        prop_assert_eq!(batch.num_points(), points.len());
+        prop_assert!(batch.num_cells() <= batch.num_points());
+        let mut out = Vec::new();
+        g.query_batch(&batch, &mut out);
+        for (p, v) in points.iter().zip(&out) {
+            let scalar = g.query(p.0, p.1, p.2);
+            prop_assert!(
+                v.to_bits() == scalar.to_bits(),
+                "point {:?}: batched {} vs scalar {}",
+                p,
+                v,
+                scalar
+            );
+        }
     }
 
     #[test]
