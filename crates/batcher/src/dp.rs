@@ -427,6 +427,118 @@ impl RowIndex {
     }
 }
 
+/// Golden ratio conjugate, (√5 − 1) / 2.
+const INVPHI: f64 = 0.618_033_988_749_895;
+
+/// The opening golden-section probe indices of the inclusive bracket
+/// `[a, b]`.
+fn golden_pair(a: usize, b: usize) -> (usize, usize) {
+    let probe_at = |frac: f64| a + ((b - a) as f64 * frac).round() as usize;
+    (probe_at(1.0 - INVPHI), probe_at(INVPHI))
+}
+
+/// Which side a golden-section pass keeps when its two probe values are
+/// exactly equal (a plateau step, including the both-infeasible `+inf`
+/// case, where the comparison carries no descent information).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PlateauBias {
+    /// Keep the left sub-bracket (the classic `f1 <= f2` rule).
+    Left,
+    /// Keep the right sub-bracket — drifts toward larger indices.
+    Right,
+}
+
+/// Outcome of one golden-section narrowing pass.
+struct GoldenPass {
+    /// Lowest evaluation seen.
+    best: f64,
+    /// Whether the pass *ended* on a plateau: its final probe pair was
+    /// exactly equal (the converged bracket carries no descent
+    /// information — including the both-infeasible `+inf` case), or the
+    /// pass never saw a finite value at all. A mid-pass tie that later
+    /// resolves into strict descent does not count: the pass found a
+    /// genuine basin and a restart would only re-solve candidates.
+    plateau: bool,
+}
+
+/// One golden-section narrowing pass over the inclusive index bracket
+/// `[a, b]`, minimizing `eval`. Narrows until the bracket is at most
+/// `stop` wide (or 32 iterations). Infeasible candidates evaluate to
+/// `+inf`, which steers the bracket toward the (larger, feasible) side —
+/// except when *both* probes are infeasible, where the comparison
+/// carries no direction and the `bias` decides.
+fn golden_pass(
+    mut a: usize,
+    mut b: usize,
+    stop: usize,
+    bias: PlateauBias,
+    eval: &mut dyn FnMut(usize) -> f64,
+) -> GoldenPass {
+    let (mut x1, mut x2) = golden_pair(a, b);
+    let mut f1 = eval(x1);
+    let mut f2 = eval(x2);
+    let mut best = f1.min(f2);
+    let mut iters = 0usize;
+    while b - a > stop && iters < 32 {
+        iters += 1;
+        let keep_left = match bias {
+            PlateauBias::Left => f1 <= f2,
+            PlateauBias::Right => f1 < f2,
+        };
+        if keep_left {
+            b = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = golden_pair(a, b).0;
+            f1 = eval(x1);
+            best = best.min(f1);
+        } else {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = golden_pair(a, b).1;
+            f2 = eval(x2);
+            best = best.min(f2);
+        }
+    }
+    GoldenPass {
+        best,
+        plateau: f1 == f2 || !best.is_finite(),
+    }
+}
+
+/// Golden-section probe over candidate indices `0..n`: returns the lowest
+/// objective seen (a valid prune bound — any candidate's true objective
+/// is one; see [`Partitioner::sweep_tmax`]).
+///
+/// The objective is near-unimodal over the candidates, but plateaus —
+/// runs of exactly-equal evaluations, most importantly the `+inf` runs of
+/// wide infeasible prefixes on tight-memory configs — give the narrowing
+/// no descent direction, and the classic `f1 <= f2` rule then drifts
+/// monotonically left, potentially converging far from the basin. When a
+/// pass **ends** on a plateau (see [`GoldenPass::plateau`] — a mid-pass
+/// tie that resolves into strict descent found a genuine basin and
+/// triggers nothing), the probe **restarts from both bracket ends**: a
+/// second pass with the opposite plateau bias drifts right over the same
+/// range, so a basin hiding at either end of the plateau is reached by
+/// one of the two passes. The extra solves are cached and reused by the
+/// ascending sweep, and a weak bound only weakens pruning — never
+/// correctness.
+fn golden_probe(n: usize, stop: usize, eval: &mut dyn FnMut(usize) -> f64) -> f64 {
+    if n == 0 {
+        return f64::INFINITY;
+    }
+    if n == 1 {
+        return eval(0);
+    }
+    let main = golden_pass(0, n - 1, stop, PlateauBias::Left, eval);
+    let mut bound = main.best;
+    if main.plateau {
+        bound = bound.min(golden_pass(0, n - 1, stop, PlateauBias::Right, eval).best);
+    }
+    bound
+}
+
 impl<'a> Partitioner<'a> {
     /// Partitioner over `cm` with `config`.
     pub fn new(cm: &'a CostModel, config: DpConfig) -> Self {
@@ -455,12 +567,18 @@ impl<'a> Partitioner<'a> {
         let limit = self.config.mb_memory_limit;
         let pricer = self.cm.shape_pricer(self.config.recompute);
         let act = pricer.mb_activation_max_batch(&fwd.batch);
-        let bwd = pricer.mb_bwd_batch(&fwd.batch);
+        // Feasibility-masked backward solve: the scalar path never priced
+        // `t(M)` for memory-infeasible slices, so the batched solve skips
+        // their backward halves too — on tight-memory configs most of the
+        // shape table is infeasible and its backward pricing is dead work.
+        // (Forward halves live in the mode-independent `fwd` table shared
+        // across the §7 sweep; a shape infeasible under this mode may be
+        // feasible under another, so those stay unmasked.)
+        let shape_feasible: Vec<bool> = act.iter().map(|&a| a <= limit).collect();
+        let bwd = pricer.mb_bwd_batch_masked(&fwd.batch, &shape_feasible);
         let mut shape_time = vec![f64::INFINITY; shapes.distinct.len()];
-        let mut shape_feasible = vec![false; shapes.distinct.len()];
         for i in 0..shapes.distinct.len() {
-            if act[i] <= limit {
-                shape_feasible[i] = true;
+            if shape_feasible[i] {
                 shape_time[i] = fwd.fwd[i] + bwd[i];
             }
         }
@@ -567,7 +685,10 @@ impl<'a> Partitioner<'a> {
     /// ramp term `(c-1)·t_max` (increasing in `t_max`) against the sum
     /// term (non-increasing), so it is near-unimodal over the candidates
     /// and the probe narrows onto a low objective in `O(log n)` solves
-    /// instead of probing fixed fractions. Any candidate's true objective
+    /// instead of probing fixed fractions. On plateaus — equal probe
+    /// evaluations, including both-infeasible `+inf` brackets — the probe
+    /// restarts from both bracket ends with opposite drift directions
+    /// (see [`golden_probe`]). Any candidate's true objective
     /// is a valid bound — non-unimodality can only weaken the bound, never
     /// break correctness: the optimal candidate `t*` satisfies
     /// `(c-1)·t* < obj(t*) <= bound` strictly (its sum term is positive),
@@ -593,29 +714,11 @@ impl<'a> Partitioner<'a> {
         let mut cache: Vec<Option<Option<(Micros, Vec<usize>)>>> = vec![None; candidates.len()];
         let mut prune_bound = f64::INFINITY;
         if candidates.len() >= 16 {
-            // Infeasible candidates evaluate to +inf, which steers the
-            // bracket toward the (larger, feasible) side.
-            let eval = |i: usize,
-                            cache: &mut Vec<Option<Option<(Micros, Vec<usize>)>>>|
-             -> Micros {
-                if cache[i].is_none() {
-                    cache[i] = Some(rows.solve(n, candidates[i]));
-                }
-                match cache[i].as_ref().expect("just filled") {
-                    Some((sum, _)) => objective(candidates[i], *sum),
-                    None => f64::INFINITY,
-                }
-            };
-            const INVPHI: f64 = 0.618_033_988_749_895; // (√5 − 1) / 2
-            let probe_at =
-                |a: usize, b: usize, frac: f64| a + ((b - a) as f64 * frac).round() as usize;
-            let (mut a, mut b) = (0usize, candidates.len() - 1);
-            let mut x1 = probe_at(a, b, 1.0 - INVPHI);
-            let mut x2 = probe_at(a, b, INVPHI);
             // Solve the opening bracket pair as one parallel wave — the
             // bracket-narrowing iterations are inherently sequential, but
             // this keeps the probe from paying two solve latencies up
             // front on wide pools.
+            let (x1, x2) = golden_pair(0, candidates.len() - 1);
             let pair: Vec<(usize, Option<(Micros, Vec<usize>)>)> = [x1, x2]
                 .par_iter()
                 .map(|&i| (i, rows.solve(n, candidates[i])))
@@ -625,32 +728,20 @@ impl<'a> Partitioner<'a> {
                     cache[i] = Some(sol);
                 }
             }
-            let mut f1 = eval(x1, &mut cache);
-            let mut f2 = eval(x2, &mut cache);
-            prune_bound = prune_bound.min(f1).min(f2);
             // Stop once the bracket is a small fraction of the candidate
             // set: by then the bound sits near the basin floor, and the
             // ascending sweep resolves the exact argmin anyway.
             let stop = (candidates.len() / 16).max(2);
-            let mut iters = 0usize;
-            while b - a > stop && iters < 32 {
-                iters += 1;
-                if f1 <= f2 {
-                    b = x2;
-                    x2 = x1;
-                    f2 = f1;
-                    x1 = probe_at(a, b, 1.0 - INVPHI);
-                    f1 = eval(x1, &mut cache);
-                    prune_bound = prune_bound.min(f1);
-                } else {
-                    a = x1;
-                    x1 = x2;
-                    f1 = f2;
-                    x2 = probe_at(a, b, INVPHI);
-                    f2 = eval(x2, &mut cache);
-                    prune_bound = prune_bound.min(f2);
+            let mut eval = |i: usize| -> Micros {
+                if cache[i].is_none() {
+                    cache[i] = Some(rows.solve(n, candidates[i]));
                 }
-            }
+                match cache[i].as_ref().expect("just filled") {
+                    Some((sum, _)) => objective(candidates[i], *sum),
+                    None => f64::INFINITY,
+                }
+            };
+            prune_bound = golden_probe(candidates.len(), stop, &mut eval);
         }
 
         let mut best: Option<(Micros, Vec<usize>, Micros)> = None;
@@ -1123,6 +1214,74 @@ mod tests {
             .find(|mb| mb.samples.iter().any(|s| s.input_len >= 4000))
             .unwrap();
         assert!(long_mb.samples.iter().all(|s| s.input_len >= 4000));
+    }
+
+    #[test]
+    fn golden_probe_escapes_right_edge_basin_on_plateau() {
+        // A plateau-shaped candidate set: flat objective with the true
+        // basin at the far right end. The classic `f1 <= f2` narrowing
+        // drifts left on the plateau and returns the plateau value; the
+        // both-ends restart must reach the basin.
+        let mut v = vec![10.0f64; 64];
+        for (d, x) in v[60..].iter_mut().enumerate() {
+            *x = 4.0 - d as f64; // 4, 3, 2, 1
+        }
+        let left_only = golden_pass(0, 63, 2, PlateauBias::Left, &mut |i| v[i]);
+        assert!(left_only.plateau, "flat region must register as a plateau");
+        assert_eq!(
+            left_only.best, 10.0,
+            "single left-biased pass converges away from the right basin"
+        );
+        let bound = golden_probe(64, 2, &mut |i| v[i]);
+        assert!(
+            bound < 10.0,
+            "both-ends restart must reach the right-edge basin, got {bound}"
+        );
+    }
+
+    #[test]
+    fn golden_probe_finds_feasible_side_of_infeasible_plateau() {
+        // Tight-memory configs produce wide infeasible (+inf) prefixes;
+        // with both opening probes infinite the comparison carries no
+        // direction and a single pass drifts left into the infeasible
+        // region. The restart's right-drifting pass must find the
+        // feasible tail.
+        let v: Vec<f64> = (0..96)
+            .map(|i| if i < 70 { f64::INFINITY } else { 100.0 - i as f64 })
+            .collect();
+        let left_only = golden_pass(0, 95, 2, PlateauBias::Left, &mut |i| v[i]);
+        assert!(left_only.plateau);
+        assert!(
+            left_only.best.is_infinite(),
+            "single pass stays in the infeasible prefix"
+        );
+        let bound = golden_probe(96, 2, &mut |i| v[i]);
+        assert!(
+            bound.is_finite(),
+            "restart must seed a finite bound from the feasible tail"
+        );
+    }
+
+    #[test]
+    fn golden_probe_bound_is_a_true_objective_value() {
+        // The bound must always be some candidate's actual evaluation
+        // (it seeds exact pruning), for unimodal and plateaued sets alike.
+        let sets: Vec<Vec<f64>> = vec![
+            (0..64).map(|i| ((i as f64) - 20.0).powi(2)).collect(),
+            vec![7.0; 64],
+            (0..64)
+                .map(|i| if i < 30 { f64::INFINITY } else { i as f64 })
+                .collect(),
+        ];
+        for v in sets {
+            let bound = golden_probe(v.len(), 2, &mut |i| v[i]);
+            assert!(
+                v.iter().any(|&x| x == bound) || bound.is_infinite(),
+                "bound {bound} must be an actual evaluation"
+            );
+            let min = v.iter().copied().fold(f64::INFINITY, f64::min);
+            assert!(bound >= min, "bound can never undercut the true minimum");
+        }
     }
 
     #[test]

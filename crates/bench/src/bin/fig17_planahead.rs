@@ -1,0 +1,254 @@
+//! Fig. 17 end-to-end: the pipelined plan-ahead runtime hiding planning
+//! behind execution.
+//!
+//! Runs the fig17 workload (65k-token mini-batches, GPT 6.7B and T5 11B
+//! on 8 GPUs) through both drivers:
+//!
+//! * **serial**: [`run_training`] — the golden-reference plan → simulate
+//!   loop, where every microsecond of planning sits on the training
+//!   timeline;
+//! * **pipelined**: [`run_training_pipelined`] — the plan-ahead runtime:
+//!   a planner pool plans ahead of a bounded window while the executor
+//!   runs the current iteration (replicas in parallel, programs
+//!   pre-compiled by the lowering stage).
+//!
+//! Wall-clock is measured on the **training timeline** (simulated GPU
+//! execution + real host planning), the same planning-vs-iteration
+//! methodology as the `fig17_planning_time` bench: in a real deployment
+//! execution occupies the cluster for seconds while planning occupies CPU
+//! milliseconds; the simulator compresses execution, so host wall alone
+//! cannot exhibit the overlap the paper measures. `serial_wall_us` is
+//! Σ(planning + execution); `pipelined_wall_us` is the runtime's virtual
+//! clock, which only waits for plans that are not ready yet
+//! (`exposed_planning_us`). Host walls of both drivers are reported too.
+//!
+//! Emits `BENCH_runtime.json` with `{serial_wall_us, pipelined_wall_us,
+//! exposed_planning_us, hidden_planning_us, overlap_ratio}` plus
+//! per-model detail, and **exits nonzero** if any pipelined `RunReport`
+//! diverges from the serial driver's (`RunReport::behavior_eq`) — a
+//! silent behavior change must never masquerade as a wall-clock win.
+
+use dynapipe_bench::{write_json, write_root_artifact, BenchOpts, Point};
+use dynapipe_core::{
+    run_training, run_training_pipelined, DynaPipePlanner, PlannerConfig, RunConfig,
+    RuntimeConfig,
+};
+use dynapipe_cost::{CostModel, ProfileOptions};
+use dynapipe_data::{Dataset, GlobalBatchConfig};
+use dynapipe_model::{HardwareModel, ModelConfig, ParallelConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct ModelOutcome {
+    name: &'static str,
+    iterations: usize,
+    serial_wall_us: f64,
+    pipelined_wall_us: f64,
+    total_planning_us: f64,
+    exposed_us: f64,
+    hidden_us: f64,
+    /// The library's `RuntimeStats::overlap_ratio` — single definition.
+    overlap_ratio: f64,
+    serial_host_us: f64,
+    pipelined_host_us: f64,
+    divergence: Option<String>,
+}
+
+fn run_model(
+    name: &'static str,
+    model: ModelConfig,
+    parallel: ParallelConfig,
+    dataset: &Dataset,
+    iters: usize,
+    runtime: RuntimeConfig,
+) -> ModelOutcome {
+    let hw = HardwareModel::a100_cluster();
+    let cm = Arc::new(CostModel::build(
+        hw,
+        model,
+        parallel,
+        &ProfileOptions::default(),
+    ));
+    let planner = DynaPipePlanner::new(cm, PlannerConfig::default());
+    let point = Point {
+        model,
+        num_gpus: 8,
+        max_seq_len: 4096,
+        gbs_tokens: 65536,
+    };
+    let gbs = GlobalBatchConfig {
+        tokens_per_batch: point.gbs_tokens,
+        max_seq_len: point.max_seq_len,
+    };
+    let run = RunConfig {
+        max_iterations: Some(iters),
+        ..Default::default()
+    };
+
+    let t0 = Instant::now();
+    let serial = run_training(&planner, dataset, gbs, run);
+    let serial_host_us = t0.elapsed().as_secs_f64() * 1e6;
+    // The serial training timeline: every iteration pays planning, then
+    // executes.
+    let serial_wall_us: f64 = serial
+        .records
+        .iter()
+        .map(|r| r.planning_time_us + r.measured_time)
+        .sum();
+
+    let t1 = Instant::now();
+    let (pipelined, stats) = run_training_pipelined(&planner, dataset, gbs, run, runtime);
+    let pipelined_host_us = t1.elapsed().as_secs_f64() * 1e6;
+
+    let divergence = serial.behavior_eq(&pipelined).err();
+    ModelOutcome {
+        name,
+        iterations: pipelined.records.len(),
+        serial_wall_us,
+        pipelined_wall_us: stats.pipelined_wall_us,
+        total_planning_us: stats.total_planning_us(),
+        exposed_us: stats.exposed_planning_us(),
+        hidden_us: stats.hidden_planning_us(),
+        overlap_ratio: stats.overlap_ratio(),
+        serial_host_us,
+        pipelined_host_us,
+        divergence,
+    }
+}
+
+fn main() {
+    let opts = BenchOpts::default();
+    let dataset = Dataset::flanv2(opts.seed, opts.dataset_samples_at_least(6000));
+    let iters = opts.capped(opts.iters.max(8), 2);
+    let runtime = RuntimeConfig::default();
+    println!(
+        "plan-ahead runtime — fig17 workload, {iters} iterations, \
+         window {} / {} planner worker(s), {} thread(s)\n",
+        runtime.plan_ahead,
+        runtime.workers,
+        rayon::current_num_threads()
+    );
+    println!(
+        "{:>5} | {:>12} {:>12} | {:>10} {:>10} {:>8} | {:>9} {:>9}",
+        "model",
+        "serial (ms)",
+        "pipe (ms)",
+        "plan (ms)",
+        "hidden",
+        "overlap",
+        "host-s",
+        "host-p"
+    );
+
+    let mut outcomes = Vec::new();
+    for (name, model, parallel) in [
+        ("GPT", ModelConfig::gpt_6_7b(), ParallelConfig::new(1, 2, 4)),
+        ("T5", ModelConfig::t5_11b(), ParallelConfig::new(1, 4, 2)),
+    ] {
+        let o = run_model(name, model, parallel, &dataset, iters, runtime);
+        let overlap = o.overlap_ratio;
+        println!(
+            "{:>5} | {:>12.1} {:>12.1} | {:>10.1} {:>10.1} {:>7.1}% | {:>9.1} {:>9.1}",
+            o.name,
+            o.serial_wall_us / 1e3,
+            o.pipelined_wall_us / 1e3,
+            o.total_planning_us / 1e3,
+            o.hidden_us / 1e3,
+            overlap * 100.0,
+            o.serial_host_us / 1e3,
+            o.pipelined_host_us / 1e3,
+        );
+        outcomes.push(o);
+    }
+
+    let serial_wall_us: f64 = outcomes.iter().map(|o| o.serial_wall_us).sum();
+    let pipelined_wall_us: f64 = outcomes.iter().map(|o| o.pipelined_wall_us).sum();
+    let exposed_planning_us: f64 = outcomes.iter().map(|o| o.exposed_us).sum();
+    let hidden_planning_us: f64 = outcomes.iter().map(|o| o.hidden_us).sum();
+    let total_planning_us: f64 = outcomes.iter().map(|o| o.total_planning_us).sum();
+    let overlap_ratio = if total_planning_us > 0.0 {
+        hidden_planning_us / total_planning_us
+    } else {
+        1.0
+    };
+    println!(
+        "\n  total: serial {:.1} ms vs pipelined {:.1} ms — {:.1}% of planning hidden",
+        serial_wall_us / 1e3,
+        pipelined_wall_us / 1e3,
+        overlap_ratio * 100.0
+    );
+
+    let per_model = serde_json::Value::Object(
+        outcomes
+            .iter()
+            .map(|o| {
+                (
+                    o.name.to_string(),
+                    serde_json::json!({
+                        "iterations": o.iterations,
+                        "serial_wall_us": o.serial_wall_us,
+                        "pipelined_wall_us": o.pipelined_wall_us,
+                        "total_planning_us": o.total_planning_us,
+                        "exposed_planning_us": o.exposed_us,
+                        "hidden_planning_us": o.hidden_us,
+                        "overlap_ratio": o.overlap_ratio,
+                        "serial_host_us": o.serial_host_us,
+                        "pipelined_host_us": o.pipelined_host_us,
+                        "report_divergence": o.divergence.clone().unwrap_or_default(),
+                    }),
+                )
+            })
+            .collect(),
+    );
+    let out = serde_json::Value::Object(vec![
+        ("serial_wall_us".to_string(), serde_json::json!(serial_wall_us)),
+        (
+            "pipelined_wall_us".to_string(),
+            serde_json::json!(pipelined_wall_us),
+        ),
+        (
+            "exposed_planning_us".to_string(),
+            serde_json::json!(exposed_planning_us),
+        ),
+        (
+            "hidden_planning_us".to_string(),
+            serde_json::json!(hidden_planning_us),
+        ),
+        ("overlap_ratio".to_string(), serde_json::json!(overlap_ratio)),
+        ("iterations".to_string(), serde_json::json!(iters)),
+        (
+            "plan_ahead".to_string(),
+            serde_json::json!(runtime.plan_ahead),
+        ),
+        ("workers".to_string(), serde_json::json!(runtime.workers)),
+        (
+            "threads".to_string(),
+            serde_json::json!(rayon::current_num_threads()),
+        ),
+        ("per_model".to_string(), per_model),
+    ]);
+    // The canonical artifact at the repo root (what CI trend-tracks), plus
+    // a copy under results/ with the other figure outputs.
+    write_root_artifact(&opts, "BENCH_runtime.json", &out);
+    write_json("fig17_planahead", &out);
+
+    // Fail loudly on any behavioral divergence: the pipelined runtime is
+    // only allowed to move wall-clock, never results.
+    let mut failed = false;
+    for o in &outcomes {
+        if let Some(d) = &o.divergence {
+            eprintln!("error: {} pipelined report diverged from serial: {d}", o.name);
+            failed = true;
+        }
+    }
+    if pipelined_wall_us >= serial_wall_us {
+        eprintln!(
+            "error: pipelined wall {pipelined_wall_us} µs did not beat serial \
+             {serial_wall_us} µs — planning is no longer being hidden"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

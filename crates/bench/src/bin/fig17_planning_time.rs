@@ -27,7 +27,7 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 fn main() {
     let opts = BenchOpts::default();
     let hw = HardwareModel::a100_cluster();
-    let dataset = Dataset::flanv2(opts.seed, opts.dataset_samples.max(6000));
+    let dataset = Dataset::flanv2(opts.seed, opts.dataset_samples_at_least(6000));
     let mut out = Vec::new();
     println!("Fig. 17 — execution planning time\n");
     println!(

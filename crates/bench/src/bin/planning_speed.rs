@@ -22,7 +22,7 @@
 //! nonzero after reporting every offending case.
 
 use dynapipe_batcher::{sort_samples, DpConfig, Partitioner, SliceFwdCosts};
-use dynapipe_bench::{probe_minibatches, write_json, BenchOpts, Point};
+use dynapipe_bench::{probe_minibatches, write_json, write_root_artifact, BenchOpts, Point};
 use dynapipe_cost::{grid_query_stats, CostModel, GridQueryStats, ProfileOptions};
 use dynapipe_data::{Dataset, Sample};
 use dynapipe_model::memory::RecomputeMode;
@@ -161,7 +161,7 @@ fn run_model(
 
 fn main() {
     let opts = BenchOpts::default();
-    let dataset = Dataset::flanv2(opts.seed, opts.dataset_samples.max(6000));
+    let dataset = Dataset::flanv2(opts.seed, opts.dataset_samples_at_least(6000));
     println!("planning speed — fig17 workload, 65k-token mini-batches, all recompute modes\n");
     let mut runs = Vec::new();
     for (name, model, parallel) in [
@@ -174,7 +174,7 @@ fn main() {
             max_seq_len: 4096,
             gbs_tokens: 65536,
         };
-        let minibatches = probe_minibatches(&dataset, &point, 4);
+        let minibatches = probe_minibatches(&dataset, &point, opts.capped(4, 1));
         runs.push(run_model(name, model, parallel, &minibatches));
     }
 
@@ -218,16 +218,7 @@ fn main() {
     ]);
     // The canonical artifact at the repo root (what CI trend-tracks), plus
     // a copy under results/ with the other figure outputs.
-    match serde_json::to_string_pretty(&out) {
-        Ok(s) => {
-            if let Err(e) = std::fs::write("BENCH_planning.json", &s) {
-                eprintln!("warning: could not write BENCH_planning.json: {e}");
-            } else {
-                println!("  -> BENCH_planning.json");
-            }
-        }
-        Err(e) => eprintln!("warning: could not serialize: {e}"),
-    }
+    write_root_artifact(&opts, "BENCH_planning.json", &out);
     write_json("planning_speed", &out);
 
     // Fail loudly: a silent partition divergence would let a broken

@@ -3,6 +3,20 @@
 //!
 //! Results land in `results/*.json`; console output shows each figure's
 //! table and its expected-shape note.
+//!
+//! A full (default) sweep deliberately regenerates the trend-tracked
+//! root artifacts too (`BENCH_planning.json`, `BENCH_runtime.json`) —
+//! running a bin *is* regenerating its artifact, same as invoking it
+//! directly, so only run the full sweep on the machine class whose
+//! numbers you want recorded.
+//!
+//! `--smoke` runs one capped iteration of every bench bin (tiny dataset,
+//! one simulated iteration, workload floors dropped via
+//! `DYNAPIPE_BENCH_SMOKE=1`) so CI can catch bin bit-rot — a binary that
+//! panics, diverges from its reference, or stops emitting its artifact —
+//! in minutes instead of a full regeneration run. Divergence checks
+//! (`planning_speed`, `fig17_planahead`) still run and still fail the
+//! sweep; smoke runs never touch the root artifacts.
 
 use std::process::Command;
 
@@ -17,17 +31,30 @@ const FIGURES: &[&str] = &[
     "fig15_padding_efficiency",
     "fig16_ablation",
     "fig17_planning_time",
+    "fig17_planahead",
     "fig18_cost_model_accuracy",
     "ablation_recompute",
+    "planning_speed",
 ];
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("exe dir");
     let mut failures = Vec::new();
+    if smoke {
+        println!("run_all --smoke: one capped iteration per bin\n");
+    }
     for name in FIGURES {
         println!("\n================ {name} ================\n");
-        let status = Command::new(dir.join(name)).status();
+        let mut cmd = Command::new(dir.join(name));
+        if smoke {
+            cmd.env("DYNAPIPE_BENCH_SMOKE", "1")
+                .env("DYNAPIPE_BENCH_SAMPLES", "400")
+                .env("DYNAPIPE_BENCH_ITERS", "1")
+                .env("DYNAPIPE_BENCH_PROBES", "1");
+        }
+        let status = cmd.status();
         match status {
             Ok(s) if s.success() => {}
             Ok(s) => {

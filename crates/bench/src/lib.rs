@@ -14,6 +14,10 @@
 //! * `DYNAPIPE_BENCH_FULL=1` — run all cluster sizes {4, 8, 16, 32} for
 //!   Figs. 13/14 instead of the single-node {4, 8} default (mirroring the
 //!   paper's artifact, where one p4d node regenerates Fig. 13 (a)(b)(e)(f)).
+//! * `DYNAPIPE_BENCH_SMOKE=1` — smoke mode: bins drop their workload
+//!   floors (dataset minimums, fixed probe counts) so a capped
+//!   one-iteration pass finishes quickly. Set by `run_all --smoke`, which
+//!   runs every bench binary this way to catch bin bit-rot cheaply.
 
 use dynapipe_batcher::OrderingStrategy;
 use dynapipe_core::{
@@ -40,6 +44,8 @@ pub struct BenchOpts {
     pub seed: u64,
     /// Include multi-node cluster sizes (16, 32 GPUs).
     pub full: bool,
+    /// Smoke mode: minimal workloads, used by `run_all --smoke`.
+    pub smoke: bool,
 }
 
 impl Default for BenchOpts {
@@ -58,6 +64,9 @@ impl Default for BenchOpts {
             full: std::env::var("DYNAPIPE_BENCH_FULL")
                 .map(|v| v == "1")
                 .unwrap_or(false),
+            smoke: std::env::var("DYNAPIPE_BENCH_SMOKE")
+                .map(|v| v == "1")
+                .unwrap_or(false),
         }
     }
 }
@@ -69,6 +78,26 @@ impl BenchOpts {
             vec![4, 8, 16, 32]
         } else {
             vec![4, 8]
+        }
+    }
+
+    /// Dataset size with a per-bin floor — bins that need a big dataset
+    /// for stable numbers (e.g. the planning benches) apply their floor
+    /// here; smoke mode drops it so `run_all --smoke` stays cheap.
+    pub fn dataset_samples_at_least(&self, floor: usize) -> usize {
+        if self.smoke {
+            self.dataset_samples
+        } else {
+            self.dataset_samples.max(floor)
+        }
+    }
+
+    /// A count capped in smoke mode (e.g. probe mini-batches, iterations).
+    pub fn capped(&self, normal: usize, smoke: usize) -> usize {
+        if self.smoke {
+            smoke
+        } else {
+            normal
         }
     }
 }
@@ -363,6 +392,26 @@ pub fn run_point(
     )
 }
 
+/// Write a canonical trend-tracked artifact at the repo root (e.g.
+/// `BENCH_planning.json`, `BENCH_runtime.json`) — unless this is a smoke
+/// run, whose toy-workload numbers must never clobber the tracked ones.
+pub fn write_root_artifact<T: Serialize>(opts: &BenchOpts, name: &str, value: &T) {
+    if opts.smoke {
+        println!("  (smoke: {name} left untouched)");
+        return;
+    }
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(name, &s) {
+                eprintln!("warning: could not write {name}: {e}");
+            } else {
+                println!("  -> {name}");
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
 /// Write a JSON result file under `results/`.
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
     let dir = std::path::Path::new("results");
@@ -400,6 +449,7 @@ mod tests {
             probes: 1,
             seed: 1,
             full: false,
+            smoke: false,
         };
         let hw = HardwareModel::a100_cluster();
         let dataset = Dataset::flanv2(opts.seed, opts.dataset_samples);

@@ -1,13 +1,22 @@
-//! The training-run driver: plan each mini-batch, execute it on the
-//! discrete-event simulator, and collect the paper's metrics.
+//! The serial training-run driver: plan each mini-batch, execute it on
+//! the discrete-event simulator, and collect the paper's metrics.
+//!
+//! This is the **golden-reference** execution path: a strict plan →
+//! simulate loop with no overlap, no speculation, and replicas simulated
+//! one by one. The production path is the pipelined plan-ahead runtime in
+//! [`crate::runtime`], which must stay bit-identical to this driver
+//! (enforced by [`RunReport::behavior_eq`] in tests and the
+//! `fig17_planahead` bench); both share the lowering and per-replica
+//! execution helpers there, so the simulated work is the same by
+//! construction — only the orchestration differs.
 
-use crate::compile::compile_replica;
 use crate::planner::{IterationPlan, PlanError};
+use crate::runtime::{execute_lowered, lower_replicas, ReplicaParallelism};
 use dynapipe_batcher::PaddingStats;
 use dynapipe_cost::CostModel;
 use dynapipe_data::{Dataset, GlobalBatchConfig, GlobalBatchIter, Sample};
 use dynapipe_model::{Bytes, Micros};
-use dynapipe_sim::{AllocatorMode, Engine, EngineConfig, JitterConfig};
+use dynapipe_sim::{AllocatorMode, JitterConfig};
 use serde::{Deserialize, Serialize};
 
 /// Anything that can plan a training iteration (DynaPipe or a baseline).
@@ -141,6 +150,95 @@ impl RunReport {
                 .map(|(&e, &m)| (e as f64, m as f64))
         }))
     }
+
+    /// Bitwise behavioral equality with `other`: every field of the
+    /// report and its records must match exactly (floats compared by bit
+    /// pattern) **except** the per-record `planning_time_us`, which is a
+    /// wall-clock measurement and differs between any two runs, serial or
+    /// not. This is the contract between the serial driver and the
+    /// pipelined runtime: identical simulated behavior, different
+    /// orchestration. Returns a description of the first divergence.
+    pub fn behavior_eq(&self, other: &RunReport) -> Result<(), String> {
+        fn f64_eq(name: &str, a: f64, b: f64) -> Result<(), String> {
+            if a.to_bits() != b.to_bits() {
+                return Err(format!("{name}: {a} vs {b}"));
+            }
+            Ok(())
+        }
+        if self.planner != other.planner {
+            return Err(format!("planner: {} vs {}", self.planner, other.planner));
+        }
+        if self.failure != other.failure {
+            return Err(format!(
+                "failure: {:?} vs {:?}",
+                self.failure, other.failure
+            ));
+        }
+        if self.total_tokens != other.total_tokens {
+            return Err(format!(
+                "total_tokens: {} vs {}",
+                self.total_tokens, other.total_tokens
+            ));
+        }
+        f64_eq("total_time_us", self.total_time_us, other.total_time_us)?;
+        let (p, q) = (&self.padding, &other.padding);
+        if (
+            p.actual_tokens,
+            p.padded_tokens,
+            p.enc_actual,
+            p.enc_padded,
+            p.dec_actual,
+            p.dec_padded,
+        ) != (
+            q.actual_tokens,
+            q.padded_tokens,
+            q.enc_actual,
+            q.enc_padded,
+            q.dec_actual,
+            q.dec_padded,
+        ) {
+            return Err(format!("padding: {p:?} vs {q:?}"));
+        }
+        if self.records.len() != other.records.len() {
+            return Err(format!(
+                "record count: {} vs {}",
+                self.records.len(),
+                other.records.len()
+            ));
+        }
+        for (i, (a, b)) in self.records.iter().zip(&other.records).enumerate() {
+            f64_eq(&format!("record {i} est_time"), a.est_time, b.est_time)?;
+            f64_eq(
+                &format!("record {i} measured_time"),
+                a.measured_time,
+                b.measured_time,
+            )?;
+            f64_eq(
+                &format!("record {i} allocator_stall_us"),
+                a.allocator_stall_us,
+                b.allocator_stall_us,
+            )?;
+            if a.est_peak != b.est_peak {
+                return Err(format!("record {i} est_peak diverged"));
+            }
+            if a.measured_peak != b.measured_peak {
+                return Err(format!("record {i} measured_peak diverged"));
+            }
+            if a.actual_tokens != b.actual_tokens {
+                return Err(format!("record {i} actual_tokens diverged"));
+            }
+            if a.num_micro_batches != b.num_micro_batches {
+                return Err(format!("record {i} num_micro_batches diverged"));
+            }
+            if a.recompute != b.recompute {
+                return Err(format!(
+                    "record {i} recompute: {} vs {}",
+                    a.recompute, b.recompute
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 fn mape(pairs: impl Iterator<Item = (f64, f64)>) -> f64 {
@@ -162,47 +260,27 @@ fn mape(pairs: impl Iterator<Item = (f64, f64)>) -> f64 {
 /// Execute one planned iteration on the simulator; returns the measured
 /// iteration time, per-stage peak memory (worst replica) and allocator
 /// stall, or the simulator error string.
+///
+/// This is the serial golden-reference path: replicas are lowered and
+/// simulated one by one through the shared helpers in [`crate::runtime`]
+/// (the pipelined runtime runs the same helpers with pre-compiled
+/// programs and parallel replicas, bit-identically).
 pub fn simulate_iteration(
     cm: &CostModel,
     plan: &IterationPlan,
     run: &RunConfig,
     iteration_index: usize,
 ) -> Result<(Micros, Vec<Bytes>, Micros), String> {
-    let c = cm.num_stages();
-    let mut worst_makespan: Micros = 0.0;
-    let mut worst_peak = vec![0u64; c];
-    let mut stall_total: Micros = 0.0;
-    // Pipeline stages sit `tp` ranks apart, so stages-per-node shrinks by
-    // the tensor-parallel degree.
-    let mut hw = cm.hw.clone();
-    hw.gpus_per_node = (hw.gpus_per_node / cm.parallel.tp).max(1);
-    for (ri, replica) in plan.replicas.iter().enumerate() {
-        let programs = compile_replica(cm, &replica.plan);
-        let config = EngineConfig {
-            hardware: hw.clone(),
-            memory_limits: (0..c).map(|j| cm.activation_budget(j)).collect(),
-            allocator_mode: run.allocator,
-            jitter: run.jitter.map(|j| JitterConfig {
-                sigma: j.sigma,
-                seed: j.seed ^ (iteration_index as u64) << 8 ^ ri as u64,
-            }),
-            comm_post_overhead: 2.0,
-            record_trace: run.record_trace,
-        };
-        let result = Engine::new(config, programs)
-            .run()
-            .map_err(|e| e.to_string())?;
-        worst_makespan = worst_makespan.max(result.makespan);
-        for (j, &p) in result.peak_memory.iter().enumerate() {
-            worst_peak[j] = worst_peak[j].max(p);
-        }
-        stall_total += result
-            .allocator_stats
-            .iter()
-            .map(|s| s.stall_us)
-            .sum::<Micros>();
-    }
-    Ok((worst_makespan + plan.dp_sync_time, worst_peak, stall_total))
+    let programs = lower_replicas(cm, plan);
+    let exec = execute_lowered(
+        cm,
+        plan,
+        &programs,
+        run,
+        iteration_index,
+        ReplicaParallelism::Serial,
+    )?;
+    Ok((exec.measured_time, exec.peak_memory, exec.allocator_stall_us))
 }
 
 /// Run (a prefix of) one training epoch.
@@ -241,34 +319,48 @@ pub fn run_training(
                 break;
             }
         };
-        let est_peak: Vec<Bytes> = {
-            let c = cm.num_stages();
-            (0..c)
-                .map(|j| {
-                    plan.replicas
-                        .iter()
-                        .map(|r| r.est_peak_memory.get(j).copied().unwrap_or(0))
-                        .max()
-                        .unwrap_or(0)
-                })
-                .collect()
-        };
-        report.total_tokens += plan.actual_tokens;
-        report.total_time_us += measured;
-        accumulate_padding(&mut report.padding, &plan.padding);
-        report.records.push(IterationRecord {
-            est_time: plan.est_iteration_time,
-            measured_time: measured,
-            est_peak,
-            measured_peak: peaks,
-            planning_time_us: plan.planning_time_us,
-            actual_tokens: plan.actual_tokens,
-            num_micro_batches: plan.num_micro_batches,
-            recompute: plan.recompute.label().to_string(),
-            allocator_stall_us: stall,
-        });
+        record_iteration(&mut report, cm, &plan, measured, peaks, stall);
     }
     report
+}
+
+/// Fold one executed iteration into the report — the single record
+/// assembly shared by the serial driver and the pipelined runtime, so
+/// both produce structurally identical reports from identical inputs.
+pub(crate) fn record_iteration(
+    report: &mut RunReport,
+    cm: &CostModel,
+    plan: &IterationPlan,
+    measured: Micros,
+    peaks: Vec<Bytes>,
+    stall: Micros,
+) {
+    let est_peak: Vec<Bytes> = {
+        let c = cm.num_stages();
+        (0..c)
+            .map(|j| {
+                plan.replicas
+                    .iter()
+                    .map(|r| r.est_peak_memory.get(j).copied().unwrap_or(0))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect()
+    };
+    report.total_tokens += plan.actual_tokens;
+    report.total_time_us += measured;
+    accumulate_padding(&mut report.padding, &plan.padding);
+    report.records.push(IterationRecord {
+        est_time: plan.est_iteration_time,
+        measured_time: measured,
+        est_peak,
+        measured_peak: peaks,
+        planning_time_us: plan.planning_time_us,
+        actual_tokens: plan.actual_tokens,
+        num_micro_batches: plan.num_micro_batches,
+        recompute: plan.recompute.label().to_string(),
+        allocator_stall_us: stall,
+    });
 }
 
 fn accumulate_padding(into: &mut PaddingStats, from: &PaddingStats) {

@@ -22,6 +22,10 @@
 //!   in-process map with the same push/fetch decoupling.
 //! * [`parallel`] — plan generation across worker threads (§8.5's
 //!   planning/executing overlap).
+//! * [`runtime`] — the pipelined plan-ahead runtime: a planner pool plans
+//!   iterations ahead of a bounded window while the executor runs the
+//!   current one, with a lowering stage in between; bit-identical to the
+//!   serial [`driver`] (the retained golden reference).
 //! * [`gridsearch`] — the paper's 3D-parallelism grid search.
 
 pub mod baseline;
@@ -30,6 +34,7 @@ pub mod driver;
 pub mod gridsearch;
 pub mod parallel;
 pub mod planner;
+pub mod runtime;
 pub mod store;
 
 pub use baseline::{BaselineKind, BaselinePlanner};
@@ -40,5 +45,9 @@ pub use parallel::{generate_plans_parallel, ParallelPlanStats};
 pub use planner::{
     DynaPipePlanner, IterationPlan, PlanContext, PlanError, PlannerConfig, ReplicaPlan,
     ScheduleKind,
+};
+pub use runtime::{
+    run_training_pipelined, CompiledIteration, IterationExecution, ReplicaParallelism,
+    RuntimeConfig, RuntimeStats,
 };
 pub use store::InstructionStore;

@@ -1,0 +1,799 @@
+//! The pipelined plan-ahead runtime: overlap planning with execution.
+//!
+//! The serial driver ([`crate::driver::run_training`]) is a strict
+//! plan → simulate loop: every iteration pays its full planning time on
+//! the critical path. The paper's end-to-end claim (§6, Fig. 17) is that
+//! per-iteration planning is *hidden* behind training — a planner worker
+//! pool pre-plans iterations ahead of a bounded window while the executor
+//! runs the current one. This module makes that overlap structural:
+//!
+//! ```text
+//!   BatchStream ──► planner pool ──► lowering ──► plan-ahead ──► executor
+//!   (streaming      (plan i+1..i+k   (compile     queue          (replicas in
+//!    mini-batches)   concurrently)    programs)   (bounded, k)    parallel)
+//! ```
+//!
+//! * the **planner pool** pulls mini-batches from a streaming
+//!   [`BatchStream`] (the epoch is never materialized) and plans
+//!   iterations up to [`RuntimeConfig::plan_ahead`] ahead of the one being
+//!   executed, on the same bounded worker-pool mechanism as
+//!   [`crate::parallel::generate_plans_parallel`] (each worker caps its
+//!   nested rayon parallelism to its pool share; the planner's shared
+//!   [`crate::planner::PlanContext`] passes are reused per plan as usual);
+//! * the **lowering stage** sits between planner and engine: each
+//!   replica's [`dynapipe_comm::ExecutionPlan`] is compiled to shared
+//!   [`DeviceProgram`]s on the worker, so the executor never rebuilds
+//!   programs inline;
+//! * the **executor** consumes iterations strictly in order from the
+//!   bounded queue and runs each iteration's independent replica engines
+//!   in parallel.
+//!
+//! # Determinism
+//!
+//! The pipelined runtime is **bit-identical** to the serial driver:
+//! planning is deterministic, jitter seeds are keyed by
+//! `(iteration_index, replica)`, replica results are folded in replica
+//! order, and iterations are recorded strictly in order. On a failure the
+//! executor stops at exactly the iteration the serial driver would, with
+//! the same error string; speculatively planned later iterations are
+//! discarded. The produced [`RunReport`] matches the serial one in every
+//! field except the wall-clock `planning_time_us` measurements (see
+//! [`RunReport::behavior_eq`]), which is pinned by tests and enforced by
+//! the `fig17_planahead` bench.
+//!
+//! # Overlap accounting
+//!
+//! In a real deployment, execution occupies the cluster for the
+//! iteration's duration while planning occupies CPU cores. The simulator
+//! compresses execution to host-microseconds, so host wall-clock alone
+//! cannot show the overlap the paper measures. The runtime therefore
+//! tracks the **training timeline**: a virtual clock advances by each
+//! iteration's *simulated* duration, and a plan's readiness is its real
+//! host timestamp. An iteration's *exposed* planning time is how long the
+//! virtual clock must wait for its plan; everything else is *hidden*
+//! behind execution. `pipelined_wall_us` (virtual end time) versus
+//! `serial_wall_us` (Σ planning + Σ execution — the serial driver's
+//! timeline, where every microsecond of planning is exposed) quantifies
+//! the win; see [`RuntimeStats`]. The same methodology backs the existing
+//! `fig17_planning_time` bench's planning/iteration ratios.
+
+use crate::driver::{record_iteration, IterationPlanner, RunConfig, RunReport};
+use crate::planner::{IterationPlan, PlanError};
+use dynapipe_batcher::PaddingStats;
+use dynapipe_cost::CostModel;
+use dynapipe_data::{BatchStream, Dataset, GlobalBatchConfig, Sample};
+use dynapipe_model::{Bytes, Micros};
+use dynapipe_sim::{DeviceProgram, Engine, EngineConfig, JitterConfig, SimResult};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Configuration of the pipelined runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Bounded plan-ahead window: the planner pool may run at most this
+    /// many iterations ahead of the executor (≥ 1). Bounds both
+    /// speculation depth and resident compiled plans.
+    pub plan_ahead: usize,
+    /// Planner worker threads (≥ 1).
+    pub workers: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            plan_ahead: 4,
+            workers: rayon::current_num_threads().saturating_sub(1).max(1),
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Clamp the window and worker count to their minima.
+    fn normalized(self) -> Self {
+        RuntimeConfig {
+            plan_ahead: self.plan_ahead.max(1),
+            workers: self.workers.max(1),
+        }
+    }
+}
+
+/// One iteration after the lowering stage: the plan plus each replica's
+/// compiled device programs, ready for the engine.
+pub struct CompiledIteration {
+    /// The iteration plan the programs were lowered from.
+    pub plan: IterationPlan,
+    /// Per-replica device programs, shared with the engines that run them.
+    pub programs: Vec<Arc<Vec<DeviceProgram>>>,
+}
+
+/// Lower every replica of `plan` to simulator device programs (the
+/// lowering stage; pure, so programs are identical wherever lowering
+/// runs).
+pub fn lower_replicas(cm: &CostModel, plan: &IterationPlan) -> Vec<Arc<Vec<DeviceProgram>>> {
+    plan.replicas
+        .iter()
+        .map(|r| Arc::new(crate::compile::compile_replica(cm, &r.plan)))
+        .collect()
+}
+
+/// Lower an owned plan into a [`CompiledIteration`].
+pub fn lower_iteration(cm: &CostModel, plan: IterationPlan) -> CompiledIteration {
+    let programs = lower_replicas(cm, &plan);
+    CompiledIteration { plan, programs }
+}
+
+/// The engine configuration for one replica of one iteration — the single
+/// source of truth shared by the serial driver and the pipelined
+/// executor, so both run bit-identical simulations. Jitter seeds are
+/// keyed by `(iteration_index, replica)`.
+pub fn replica_engine_config(
+    cm: &CostModel,
+    run: &RunConfig,
+    iteration_index: usize,
+    replica: usize,
+) -> EngineConfig {
+    let c = cm.num_stages();
+    // Pipeline stages sit `tp` ranks apart, so stages-per-node shrinks by
+    // the tensor-parallel degree.
+    let mut hw = cm.hw.clone();
+    hw.gpus_per_node = (hw.gpus_per_node / cm.parallel.tp).max(1);
+    EngineConfig {
+        hardware: hw,
+        memory_limits: (0..c).map(|j| cm.activation_budget(j)).collect(),
+        allocator_mode: run.allocator,
+        jitter: run.jitter.map(|j| JitterConfig {
+            sigma: j.sigma,
+            seed: j.seed ^ (iteration_index as u64) << 8 ^ replica as u64,
+        }),
+        comm_post_overhead: 2.0,
+        record_trace: run.record_trace,
+    }
+}
+
+/// Whether [`execute_lowered`] runs replica engines one by one or on the
+/// rayon pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaParallelism {
+    /// Run replicas sequentially, stopping at the first failure — the
+    /// golden-reference semantics of the serial driver.
+    Serial,
+    /// Run the independent replica engines in parallel; results are
+    /// folded in replica order, so the outcome (including which failure
+    /// is reported) is bit-identical to [`ReplicaParallelism::Serial`].
+    Parallel,
+}
+
+/// Measurements of one executed iteration.
+pub struct IterationExecution {
+    /// Simulated iteration time: worst replica makespan plus gradient
+    /// sync (µs).
+    pub measured_time: Micros,
+    /// Measured peak activation per stage (worst replica).
+    pub peak_memory: Vec<Bytes>,
+    /// Total allocator stall across devices and replicas (µs).
+    pub allocator_stall_us: Micros,
+    /// Host wall-clock the engines spent simulating, summed over replicas
+    /// (µs) — the executor-side cost in the overlap accounting.
+    pub host_wall_us: f64,
+}
+
+/// Execute one lowered iteration's replicas and fold the results exactly
+/// as the serial driver does: worst makespan, per-stage max peaks, summed
+/// stalls, first failure in replica order.
+pub fn execute_lowered(
+    cm: &CostModel,
+    plan: &IterationPlan,
+    programs: &[Arc<Vec<DeviceProgram>>],
+    run: &RunConfig,
+    iteration_index: usize,
+    mode: ReplicaParallelism,
+) -> Result<IterationExecution, String> {
+    debug_assert_eq!(plan.replicas.len(), programs.len());
+    let c = cm.num_stages();
+    let run_replica = |ri: usize| -> Result<SimResult, String> {
+        let config = replica_engine_config(cm, run, iteration_index, ri);
+        Engine::with_shared(config, programs[ri].clone())
+            .run()
+            .map_err(|e| e.to_string())
+    };
+    let mut exec = IterationExecution {
+        measured_time: 0.0,
+        peak_memory: vec![0u64; c],
+        allocator_stall_us: 0.0,
+        host_wall_us: 0.0,
+    };
+    let mut worst_makespan: Micros = 0.0;
+    let mut fold = |result: SimResult| {
+        worst_makespan = worst_makespan.max(result.makespan);
+        for (j, &p) in result.peak_memory.iter().enumerate() {
+            exec.peak_memory[j] = exec.peak_memory[j].max(p);
+        }
+        exec.allocator_stall_us += result
+            .allocator_stats
+            .iter()
+            .map(|s| s.stall_us)
+            .sum::<Micros>();
+        exec.host_wall_us += result.host_wall_us;
+    };
+    match mode {
+        ReplicaParallelism::Serial => {
+            for ri in 0..programs.len() {
+                fold(run_replica(ri)?);
+            }
+        }
+        ReplicaParallelism::Parallel => {
+            let results: Vec<Result<SimResult, String>> =
+                (0..programs.len()).into_par_iter().map(run_replica).collect();
+            for result in results {
+                fold(result?);
+            }
+        }
+    }
+    drop(fold);
+    exec.measured_time = worst_makespan + plan.dp_sync_time;
+    Ok(exec)
+}
+
+/// A planned (and lowered) iteration travelling through the plan-ahead
+/// queue.
+struct PlannedIteration {
+    outcome: Result<CompiledIteration, PlanError>,
+    /// Worker wall-clock spent planning (µs).
+    plan_us: f64,
+    /// Worker wall-clock spent lowering (µs).
+    lower_us: f64,
+    /// Host time since run start when the outcome landed in the queue (µs).
+    ready_at_us: f64,
+}
+
+/// What the executor receives for an iteration index.
+enum WaitOutcome {
+    Planned(PlannedIteration),
+    /// The epoch ended before this iteration.
+    EndOfEpoch,
+}
+
+struct QueueState {
+    /// Next iteration index the planner pool will claim.
+    next_ticket: usize,
+    /// Next iteration index the executor will consume.
+    next_consume: usize,
+    /// Total iterations in the epoch, once the stream dries.
+    epoch_len: Option<usize>,
+    /// Set by the executor on failure/teardown: workers stop claiming.
+    cancelled: bool,
+    /// Set when a planner worker panicked mid-iteration: its claimed
+    /// ticket will never be fulfilled, so the executor must re-raise
+    /// instead of waiting forever.
+    worker_panicked: bool,
+    /// Completed, not-yet-consumed iterations.
+    ready: HashMap<usize, PlannedIteration>,
+    /// High-water mark of `ready` (bounded by the window).
+    max_ready: usize,
+}
+
+/// The bounded plan-ahead queue between the planner pool and the
+/// executor. Claiming a ticket pulls the matching mini-batch from the
+/// stream under the queue lock, so ticket order always equals stream
+/// order; the window condition `next_ticket < next_consume + plan_ahead`
+/// bounds both speculation and resident compiled plans.
+struct PlanAheadQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    window: usize,
+    cap: usize,
+}
+
+impl PlanAheadQueue {
+    fn new(window: usize, cap: usize) -> Self {
+        PlanAheadQueue {
+            state: Mutex::new(QueueState {
+                next_ticket: 0,
+                next_consume: 0,
+                epoch_len: None,
+                cancelled: false,
+                worker_panicked: false,
+                ready: HashMap::new(),
+                max_ready: 0,
+            }),
+            cv: Condvar::new(),
+            window,
+            cap,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Claim the next iteration to plan, blocking while the window is
+    /// full. Returns `None` once there is nothing left to plan (epoch
+    /// end, iteration cap, or cancellation).
+    fn claim<D: std::ops::Deref<Target = Dataset>>(
+        &self,
+        stream: &BatchStream<D>,
+    ) -> Option<(usize, Vec<Sample>)> {
+        let mut st = self.lock();
+        loop {
+            if st.cancelled || st.next_ticket >= self.cap {
+                return None;
+            }
+            if let Some(len) = st.epoch_len {
+                if st.next_ticket >= len {
+                    return None;
+                }
+            }
+            if st.next_ticket < st.next_consume + self.window {
+                // Pull under the queue lock: ticket index == stream index.
+                match stream.next_batch() {
+                    Some((idx, batch)) => {
+                        debug_assert_eq!(idx, st.next_ticket);
+                        st.next_ticket += 1;
+                        return Some((idx, batch));
+                    }
+                    None => {
+                        st.epoch_len = Some(st.next_ticket);
+                        self.cv.notify_all();
+                        return None;
+                    }
+                }
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Deliver a planned iteration (worker side).
+    fn complete(&self, index: usize, planned: PlannedIteration) {
+        let mut st = self.lock();
+        if st.cancelled {
+            return; // speculative work past a failure: discard
+        }
+        st.ready.insert(index, planned);
+        debug_assert!(st.ready.len() <= self.window);
+        st.max_ready = st.max_ready.max(st.ready.len());
+        self.cv.notify_all();
+    }
+
+    /// Block until iteration `index`'s outcome is available (executor
+    /// side, strictly in order).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises if a planner worker panicked: its claimed ticket will
+    /// never arrive, and waiting on would deadlock (the worker's own
+    /// panic surfaces when the scope joins it).
+    fn wait_for(&self, index: usize) -> WaitOutcome {
+        let mut st = self.lock();
+        loop {
+            if st.worker_panicked {
+                panic!("a planner worker panicked while planning ahead");
+            }
+            if let Some(planned) = st.ready.remove(&index) {
+                st.next_consume = index + 1;
+                self.cv.notify_all();
+                return WaitOutcome::Planned(planned);
+            }
+            if let Some(len) = st.epoch_len {
+                if index >= len {
+                    return WaitOutcome::EndOfEpoch;
+                }
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Stop the planner pool (failure or normal teardown).
+    fn cancel(&self) {
+        let mut st = self.lock();
+        st.cancelled = true;
+        self.cv.notify_all();
+    }
+
+    /// Poison the queue from a panicking worker's unwind path: wake the
+    /// executor so it re-raises, and stop the other workers.
+    fn poison(&self) {
+        let mut st = self.lock();
+        st.worker_panicked = true;
+        st.cancelled = true;
+        self.cv.notify_all();
+    }
+
+    fn max_ready(&self) -> usize {
+        self.lock().max_ready
+    }
+}
+
+/// Unwind guard for a planner worker holding a claimed ticket: if the
+/// planner or the lowering stage panics, the ticket would never be
+/// completed and the executor's in-order wait would deadlock. Dropping
+/// the armed guard during unwind poisons the queue instead, so the
+/// executor re-raises and the panic propagates through the scope join.
+struct TicketGuard<'a> {
+    queue: &'a PlanAheadQueue,
+    armed: bool,
+}
+
+impl Drop for TicketGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.queue.poison();
+        }
+    }
+}
+
+/// Timing breakdown of a pipelined run — the data behind
+/// `BENCH_runtime.json` and the paper's "planning is fully overlapped"
+/// argument. All `_us` values are microseconds; see the module docs for
+/// the training-timeline semantics.
+#[derive(Debug, Clone)]
+pub struct RuntimeStats {
+    /// Per executed iteration: worker time spent planning + lowering.
+    pub planning_us: Vec<f64>,
+    /// Per executed iteration: simulated execution time.
+    pub exec_sim_us: Vec<f64>,
+    /// Per executed iteration: planning time exposed on the training
+    /// timeline (the virtual clock waited this long for the plan).
+    pub exposed_us: Vec<f64>,
+    /// End of the training timeline: Σ execution + exposed planning.
+    pub pipelined_wall_us: f64,
+    /// Real host wall-clock of the whole pipelined run.
+    pub host_wall_us: f64,
+    /// Host time spent inside the simulation engines.
+    pub exec_host_us: f64,
+    /// High-water mark of planned-but-unconsumed iterations (≤ window).
+    pub max_plans_resident: usize,
+    /// Planner pool size used.
+    pub workers: usize,
+    /// Plan-ahead window used.
+    pub plan_ahead: usize,
+}
+
+impl RuntimeStats {
+    /// Total planning + lowering time across iterations (µs).
+    pub fn total_planning_us(&self) -> f64 {
+        self.planning_us.iter().sum()
+    }
+
+    /// Planning time exposed on the training timeline (µs).
+    pub fn exposed_planning_us(&self) -> f64 {
+        self.exposed_us.iter().sum()
+    }
+
+    /// Planning time hidden behind execution (µs).
+    pub fn hidden_planning_us(&self) -> f64 {
+        (self.total_planning_us() - self.exposed_planning_us()).max(0.0)
+    }
+
+    /// Fraction of planning hidden behind execution, in [0, 1].
+    pub fn overlap_ratio(&self) -> f64 {
+        let total = self.total_planning_us();
+        if total <= 0.0 {
+            return 1.0;
+        }
+        self.hidden_planning_us() / total
+    }
+
+    /// The serial driver's training timeline for the same work:
+    /// every microsecond of planning exposed, then execution.
+    pub fn serial_wall_us(&self) -> f64 {
+        self.total_planning_us() + self.exec_sim_us.iter().sum::<f64>()
+    }
+}
+
+/// Run (a prefix of) one training epoch on the pipelined plan-ahead
+/// runtime.
+///
+/// The produced [`RunReport`] is bit-identical to
+/// [`crate::driver::run_training`] with the same arguments, except for
+/// the wall-clock `planning_time_us` fields (see
+/// [`RunReport::behavior_eq`]); the accompanying [`RuntimeStats`] carries
+/// the overlap accounting.
+pub fn run_training_pipelined(
+    planner: &dyn IterationPlanner,
+    dataset: &Dataset,
+    gbs: GlobalBatchConfig,
+    run: RunConfig,
+    config: RuntimeConfig,
+) -> (RunReport, RuntimeStats) {
+    let config = config.normalized();
+    let cm = planner.cost_model();
+    let cap = run.max_iterations.unwrap_or(usize::MAX);
+    let stream = BatchStream::new(dataset, gbs);
+    let queue = PlanAheadQueue::new(config.plan_ahead, cap);
+    let t0 = Instant::now();
+
+    let mut report = RunReport {
+        planner: planner.label(),
+        records: Vec::new(),
+        total_tokens: 0,
+        total_time_us: 0.0,
+        padding: PaddingStats::default(),
+        failure: None,
+    };
+    let mut stats = RuntimeStats {
+        planning_us: Vec::new(),
+        exec_sim_us: Vec::new(),
+        exposed_us: Vec::new(),
+        pipelined_wall_us: 0.0,
+        host_wall_us: 0.0,
+        exec_host_us: 0.0,
+        max_plans_resident: 0,
+        workers: config.workers,
+        plan_ahead: config.plan_ahead,
+    };
+
+    // Nested parallelism budget per planner worker: the pool's threads are
+    // split across workers, mirroring how generate_plans_parallel's pool
+    // runs nested planning work within each worker's slot.
+    let nested_threads = (rayon::current_num_threads() / config.workers).max(1);
+
+    std::thread::scope(|scope| {
+        for _ in 0..config.workers {
+            let queue = &queue;
+            let stream = &stream;
+            scope.spawn(move || {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(nested_threads)
+                    .build()
+                    .expect("planner worker pool");
+                pool.install(|| {
+                    while let Some((index, batch)) = queue.claim(stream) {
+                        let mut guard = TicketGuard {
+                            queue,
+                            armed: true,
+                        };
+                        let t_plan = Instant::now();
+                        let planned = planner.plan(&batch);
+                        let plan_us = t_plan.elapsed().as_secs_f64() * 1e6;
+                        let t_lower = Instant::now();
+                        // The lowering stage: compile on the worker so the
+                        // executor receives ready-to-run programs.
+                        let outcome = planned.map(|p| lower_iteration(cm, p));
+                        let lower_us = t_lower.elapsed().as_secs_f64() * 1e6;
+                        queue.complete(
+                            index,
+                            PlannedIteration {
+                                outcome,
+                                plan_us,
+                                lower_us,
+                                ready_at_us: t0.elapsed().as_secs_f64() * 1e6,
+                            },
+                        );
+                        guard.armed = false;
+                    }
+                });
+            });
+        }
+
+        // The executor: consume strictly in order on the caller thread.
+        let mut vclock = 0.0f64;
+        for it in 0..cap {
+            let planned = match queue.wait_for(it) {
+                WaitOutcome::EndOfEpoch => break,
+                WaitOutcome::Planned(p) => p,
+            };
+            let compiled = match planned.outcome {
+                Ok(c) => c,
+                Err(e) => {
+                    report.failure = Some(format!("iteration {it}: {e}"));
+                    break;
+                }
+            };
+            let exec = match execute_lowered(
+                cm,
+                &compiled.plan,
+                &compiled.programs,
+                &run,
+                it,
+                ReplicaParallelism::Parallel,
+            ) {
+                Ok(x) => x,
+                Err(e) => {
+                    report.failure = Some(format!("iteration {it}: {e}"));
+                    break;
+                }
+            };
+            // Overlap accounting on the training timeline: the virtual
+            // clock waits for the plan's host-time readiness, then
+            // advances by the simulated execution.
+            let exposed = (planned.ready_at_us - vclock).max(0.0);
+            vclock = vclock.max(planned.ready_at_us) + exec.measured_time;
+            stats.planning_us.push(planned.plan_us + planned.lower_us);
+            stats.exec_sim_us.push(exec.measured_time);
+            stats.exposed_us.push(exposed);
+            stats.exec_host_us += exec.host_wall_us;
+            record_iteration(
+                &mut report,
+                cm,
+                &compiled.plan,
+                exec.measured_time,
+                exec.peak_memory,
+                exec.allocator_stall_us,
+            );
+        }
+        stats.pipelined_wall_us = vclock;
+        // Teardown: stop workers that are waiting on the window or about
+        // to claim past a failure.
+        queue.cancel();
+    });
+
+    stats.host_wall_us = t0.elapsed().as_secs_f64() * 1e6;
+    stats.max_plans_resident = queue.max_ready();
+    (report, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_training, simulate_iteration};
+    use crate::planner::{DynaPipePlanner, PlannerConfig};
+    use dynapipe_cost::ProfileOptions;
+    use dynapipe_model::{HardwareModel, ModelConfig, ParallelConfig};
+
+    fn cost_model(pp: usize, dp: usize) -> Arc<CostModel> {
+        Arc::new(CostModel::build(
+            HardwareModel::a100_cluster(),
+            ModelConfig::gpt_3_35b(),
+            ParallelConfig::new(dp, 1, pp),
+            &ProfileOptions::coarse(),
+        ))
+    }
+
+    fn gbs() -> GlobalBatchConfig {
+        GlobalBatchConfig {
+            tokens_per_batch: 16384,
+            max_seq_len: 2048,
+        }
+    }
+
+    #[test]
+    fn parallel_replica_execution_matches_serial_fold() {
+        // The satellite invariant: replicas are independent engines, and
+        // the parallel fold (worst makespan, per-stage max peaks, summed
+        // stalls) must reproduce the serial loop bit for bit.
+        let cm = cost_model(2, 2);
+        let planner = DynaPipePlanner::new(cm.clone(), PlannerConfig::default());
+        let dataset = Dataset::flanv2(61, 400);
+        let run = RunConfig::default();
+        let stream = BatchStream::new(&dataset, gbs());
+        for _ in 0..2 {
+            let (it, mb) = stream.next_batch().unwrap();
+            let plan = planner.plan_iteration(&mb).unwrap();
+            assert_eq!(plan.replicas.len(), 2);
+            let programs = lower_replicas(&cm, &plan);
+            let serial =
+                execute_lowered(&cm, &plan, &programs, &run, it, ReplicaParallelism::Serial)
+                    .unwrap();
+            let parallel =
+                execute_lowered(&cm, &plan, &programs, &run, it, ReplicaParallelism::Parallel)
+                    .unwrap();
+            assert_eq!(
+                serial.measured_time.to_bits(),
+                parallel.measured_time.to_bits()
+            );
+            assert_eq!(serial.peak_memory, parallel.peak_memory);
+            assert_eq!(
+                serial.allocator_stall_us.to_bits(),
+                parallel.allocator_stall_us.to_bits()
+            );
+            // And the refactored serial path still backs simulate_iteration.
+            let (m, p, s) = simulate_iteration(&cm, &plan, &run, it).unwrap();
+            assert_eq!(m.to_bits(), serial.measured_time.to_bits());
+            assert_eq!(p, serial.peak_memory);
+            assert_eq!(s.to_bits(), serial.allocator_stall_us.to_bits());
+        }
+    }
+
+    #[test]
+    fn pipelined_report_matches_serial_driver() {
+        let cm = cost_model(2, 1);
+        let planner = DynaPipePlanner::new(cm, PlannerConfig::default());
+        let dataset = Dataset::flanv2(31, 400);
+        let run = RunConfig {
+            max_iterations: Some(3),
+            ..Default::default()
+        };
+        let serial = run_training(&planner, &dataset, gbs(), run);
+        let (pipelined, stats) = run_training_pipelined(
+            &planner,
+            &dataset,
+            gbs(),
+            run,
+            RuntimeConfig {
+                plan_ahead: 2,
+                workers: 2,
+            },
+        );
+        serial.behavior_eq(&pipelined).unwrap();
+        assert_eq!(stats.planning_us.len(), 3);
+        assert!(stats.max_plans_resident <= 2, "window must bound the queue");
+        assert!(stats.pipelined_wall_us > 0.0);
+        assert!(
+            stats.pipelined_wall_us <= stats.serial_wall_us(),
+            "plan-ahead can only remove planning from the timeline"
+        );
+        assert!((0.0..=1.0).contains(&stats.overlap_ratio()));
+    }
+
+    #[test]
+    fn planner_worker_panic_propagates_instead_of_deadlocking() {
+        // A panicking worker leaves its claimed ticket unfulfilled; the
+        // queue must poison itself so the executor re-raises rather than
+        // waiting forever (the serial driver would have propagated the
+        // panic directly).
+        struct PanickingPlanner(Arc<CostModel>);
+        impl IterationPlanner for PanickingPlanner {
+            fn plan(&self, _: &[Sample]) -> Result<IterationPlan, PlanError> {
+                panic!("injected planner panic");
+            }
+            fn cost_model(&self) -> &CostModel {
+                &self.0
+            }
+            fn label(&self) -> String {
+                "panicking".to_string()
+            }
+        }
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let planner = PanickingPlanner(cost_model(2, 1));
+            let dataset = Dataset::flanv2(37, 200);
+            let run = RunConfig {
+                max_iterations: Some(3),
+                ..Default::default()
+            };
+            let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_training_pipelined(&planner, &dataset, gbs(), run, RuntimeConfig::default())
+            }))
+            .is_err();
+            let _ = tx.send(panicked);
+        });
+        let panicked = rx
+            .recv_timeout(std::time::Duration::from_secs(60))
+            .expect("pipelined run must terminate, not deadlock");
+        assert!(panicked, "worker panic must propagate to the caller");
+    }
+
+    #[test]
+    fn zero_iteration_cap_produces_empty_report() {
+        let cm = cost_model(2, 1);
+        let planner = DynaPipePlanner::new(cm, PlannerConfig::default());
+        let dataset = Dataset::flanv2(33, 200);
+        let run = RunConfig {
+            max_iterations: Some(0),
+            ..Default::default()
+        };
+        let serial = run_training(&planner, &dataset, gbs(), run);
+        let (pipelined, stats) =
+            run_training_pipelined(&planner, &dataset, gbs(), run, RuntimeConfig::default());
+        serial.behavior_eq(&pipelined).unwrap();
+        assert!(pipelined.records.is_empty());
+        assert_eq!(stats.total_planning_us(), 0.0);
+    }
+
+    #[test]
+    fn full_epoch_runs_to_stream_end() {
+        let cm = cost_model(2, 1);
+        let planner = DynaPipePlanner::new(cm, PlannerConfig::default());
+        let dataset = Dataset::flanv2(35, 260);
+        let run = RunConfig {
+            max_iterations: None,
+            jitter: None,
+            ..Default::default()
+        };
+        let serial = run_training(&planner, &dataset, gbs(), run);
+        let (pipelined, _) = run_training_pipelined(
+            &planner,
+            &dataset,
+            gbs(),
+            run,
+            RuntimeConfig {
+                plan_ahead: 3,
+                workers: 2,
+            },
+        );
+        serial.behavior_eq(&pipelined).unwrap();
+        assert!(!pipelined.records.is_empty());
+    }
+}

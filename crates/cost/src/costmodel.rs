@@ -583,23 +583,64 @@ impl<'a> ShapePricer<'a> {
 
     /// Batched [`ShapePricer::mb_bwd`] under this pricer's mode.
     pub fn mb_bwd_batch(&self, batch: &ShapeBatch) -> Vec<Micros> {
+        self.bwd_batch_impl(batch, None)
+    }
+
+    /// Feasibility-masked [`ShapePricer::mb_bwd_batch`]: price the
+    /// backward (+ recompute) half only for shapes with `mask[i] == true`;
+    /// masked-out entries are `f64::INFINITY` poison values the caller
+    /// must never read. Unmasked entries are bit-identical to
+    /// [`ShapePricer::mb_bwd`].
+    ///
+    /// This restores the scalar cost pass's short-circuit at the batched
+    /// layer: the scalar path never priced `t(M)` for memory-infeasible
+    /// slices, while the unmasked batched solve paid for every distinct
+    /// shape's backward grids — dead work on tight-memory configurations
+    /// where most of the shape table is infeasible. Grid cells referenced
+    /// only by masked shapes are skipped entirely (see
+    /// [`crate::grid::NdGrid::query_batch_masked`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len() != batch.len()`.
+    pub fn mb_bwd_batch_masked(&self, batch: &ShapeBatch, mask: &[bool]) -> Vec<Micros> {
+        assert_eq!(mask.len(), batch.len(), "one mask entry per shape required");
+        self.bwd_batch_impl(batch, Some(mask))
+    }
+
+    /// The one backward-pricing core behind both batched variants: the
+    /// masked path differs only in which grid evaluation it uses and in
+    /// poisoning masked-out outputs, so the stage fold (the part that
+    /// must stay bit-identical to the scalar `mb_bwd`) exists once.
+    fn bwd_batch_impl(&self, batch: &ShapeBatch, mask: Option<&[bool]>) -> Vec<Micros> {
         let n = batch.len();
+        let query = |g: &crate::grid::NdGrid, p: &crate::grid::BatchQuery, out: &mut Vec<f64>| {
+            match mask {
+                None => g.query_batch(p, out),
+                Some(m) => {
+                    g.query_batch_masked(p, m, out);
+                }
+            }
+        };
         let enc_bwd = Self::side_values(&batch.enc, n, |p| {
             let (mut b, mut r) = (Vec::new(), Vec::new());
-            self.enc.bwd.query_batch(p, &mut b);
-            self.enc.recompute.query_batch(p, &mut r);
+            query(self.enc.bwd, p, &mut b);
+            query(self.enc.recompute, p, &mut r);
             b.iter().zip(&r).map(|(x, y)| x + y).collect()
         });
         let dec_bwd = Self::side_values(&batch.dec, n, |p| {
             let (mut b, mut r) = (Vec::new(), Vec::new());
-            self.dec.bwd.query_batch(p, &mut b);
-            self.dec.recompute.query_batch(p, &mut r);
+            query(self.dec.bwd, p, &mut b);
+            query(self.dec.recompute, p, &mut r);
             b.iter().zip(&r).map(|(x, y)| x + y).collect()
         });
         let mut lm = Vec::new();
-        self.lm_head_fwd.query_batch(&batch.lm, &mut lm);
+        query(self.lm_head_fwd, &batch.lm, &mut lm);
         (0..n)
             .map(|i| {
+                if mask.is_some_and(|m| !m[i]) {
+                    return f64::INFINITY;
+                }
                 if batch.empty[i] {
                     return 0.0;
                 }
@@ -718,6 +759,59 @@ mod tests {
         let cm = gpt_cm(2);
         let shape = MicroBatchShape::gpt(4, 2048);
         assert!(cm.mb_bwd(&shape, RecomputeMode::Full) > cm.mb_bwd(&shape, RecomputeMode::None));
+    }
+
+    #[test]
+    fn masked_bwd_batch_matches_scalar_on_feasible_shapes() {
+        // The feasibility-masked backward solve must price masked-in
+        // shapes bit-identically to the scalar path and poison the rest —
+        // across every recomputation mode and both architectures.
+        for cm in [gpt_cm(4), t5_cm(4)] {
+            let shapes: Vec<MicroBatchShape> = match cm.model.arch {
+                ModelArch::Gpt => vec![
+                    MicroBatchShape::gpt(1, 37),
+                    MicroBatchShape::gpt(3, 900),
+                    MicroBatchShape::empty(),
+                    MicroBatchShape::gpt(64, 100_000),
+                ],
+                ModelArch::T5 => vec![
+                    MicroBatchShape::t5(2, 512, 64),
+                    MicroBatchShape::t5(2, 512, 96),
+                    MicroBatchShape::empty(),
+                    MicroBatchShape::t5(64, 100_000, 9000),
+                ],
+            };
+            let batch = cm
+                .shape_pricer(RecomputeMode::None)
+                .locate_batch(&shapes);
+            // Mask patterns: drop the huge shape (the realistic
+            // memory-infeasible case), drop everything, keep everything.
+            for mask in [
+                vec![true, true, true, false],
+                vec![false; 4],
+                vec![true; 4],
+            ] {
+                for mode in RecomputeMode::ALL {
+                    let pricer = cm.shape_pricer(mode);
+                    let masked = pricer.mb_bwd_batch_masked(&batch, &mask);
+                    for (i, s) in shapes.iter().enumerate() {
+                        if mask[i] {
+                            assert_eq!(
+                                masked[i].to_bits(),
+                                pricer.mb_bwd(s).to_bits(),
+                                "{:?} mode {mode:?} shape {i}: masked bwd diverged",
+                                cm.model.arch
+                            );
+                        } else {
+                            assert!(
+                                masked[i].is_infinite(),
+                                "masked-out shape must be poisoned"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

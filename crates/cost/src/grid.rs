@@ -529,6 +529,86 @@ impl NdGrid {
         out.extend(batch.point_cell.iter().map(|&id| vals[id as usize]));
     }
 
+    /// Feasibility-masked [`NdGrid::query_batch`]: evaluate only the
+    /// points with `mask[i] == true`, appending one value per input point
+    /// (in input order) to `out`. Masked-out points receive
+    /// `f64::INFINITY` (a poison value — callers skip them), and cells
+    /// referenced *only* by masked points are never interpolated, so the
+    /// evaluation cost scales with the unmasked subset. Unmasked values
+    /// are bit-identical to [`NdGrid::query`] / [`NdGrid::query_batch`].
+    ///
+    /// This is the grid-level face of the cost pass's feasibility mask:
+    /// backward halves of memory-infeasible shapes are dead work (the DP
+    /// never reads them), so the batched solve skips their cells exactly
+    /// as the scalar path skipped their queries.
+    ///
+    /// Returns the number of cells actually interpolated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len()` differs from the batch's point count, or if
+    /// the grid's axes do not match the batch (as in `query_batch`).
+    pub fn query_batch_masked(
+        &self,
+        batch: &BatchQuery,
+        mask: &[bool],
+        out: &mut Vec<f64>,
+    ) -> usize {
+        assert_eq!(
+            batch.axis_prints,
+            [
+                axis_print(&self.a0),
+                axis_print(&self.a1),
+                axis_print(&self.a2)
+            ],
+            "batch was located against differently-shaped axes"
+        );
+        assert_eq!(
+            mask.len(),
+            batch.point_cell.len(),
+            "one mask entry per batch point required"
+        );
+        let mut needed = vec![false; batch.cells.len()];
+        let mut num_needed = 0u64;
+        for (p, &cell) in batch.point_cell.iter().enumerate() {
+            if mask[p] && !needed[cell as usize] {
+                needed[cell as usize] = true;
+                num_needed += 1;
+            }
+        }
+        BATCH_EVALS.fetch_add(num_needed, Ordering::Relaxed);
+        let vals: Vec<f64> = batch
+            .cells
+            .iter()
+            .zip(&needed)
+            .map(|(c, &n)| {
+                if !n {
+                    return f64::INFINITY;
+                }
+                self.interpolate(
+                    c.i[0] as usize,
+                    c.i[1] as usize,
+                    c.i[2] as usize,
+                    c.j[0] as usize,
+                    c.j[1] as usize,
+                    c.j[2] as usize,
+                    c.f[0],
+                    c.f[1],
+                    c.f[2],
+                )
+            })
+            .collect();
+        out.reserve(batch.point_cell.len());
+        out.extend(
+            batch
+                .point_cell
+                .iter()
+                .enumerate()
+                .map(|(p, &id)| if mask[p] { vals[id as usize] } else { f64::INFINITY }),
+        );
+        num_needed as usize
+    }
+
     /// Resolve `points` against this grid's own axes (see
     /// [`BatchQuery::locate`]; the plan is reusable on any grid sharing
     /// the axes).
@@ -718,6 +798,59 @@ mod tests {
                 "point {p:?} diverged from scalar query"
             );
         }
+    }
+
+    #[test]
+    fn masked_batch_matches_scalar_on_unmasked_and_skips_dead_cells() {
+        let g = NdGrid::build(
+            Axis::pow2(1, 16),
+            Axis::pow2(16, 256),
+            Axis::pow2(16, 256),
+            |b, s1, s2| (b * s1) as f64 * 1.37 + (s2 as f64).sqrt() * 0.11,
+        );
+        let points = [
+            (3usize, 100usize, 33usize),
+            (1, 16, 16),
+            (64, 1000, 17),
+            (3, 100, 33), // duplicate of point 0 (shared cell)
+            (5, 300, 4000),
+            (16, 256, 256),
+        ];
+        let batch = g.plan_queries(points.iter().copied());
+        // Mask out points 1 and 4; point 3 shares its cell with unmasked
+        // point 0, so that cell must still be evaluated.
+        let mask = [true, false, true, true, false, true];
+        let mut out = Vec::new();
+        let evals = g.query_batch_masked(&batch, &mask, &mut out);
+        assert_eq!(out.len(), points.len());
+        for (i, p) in points.iter().enumerate() {
+            if mask[i] {
+                assert_eq!(
+                    out[i].to_bits(),
+                    g.query(p.0, p.1, p.2).to_bits(),
+                    "unmasked point {p:?} diverged from scalar query"
+                );
+            } else {
+                assert!(out[i].is_infinite(), "masked point must be poisoned");
+            }
+        }
+        // 4 distinct unmasked points share 3 distinct cells (0 and 3
+        // collapse); the 2 masked points' private cells are never touched.
+        assert_eq!(evals, 3, "only cells reachable from unmasked points");
+    }
+
+    #[test]
+    fn fully_masked_batch_evaluates_nothing() {
+        let g = NdGrid::build(
+            Axis::pow2(1, 8),
+            Axis::singleton(),
+            Axis::singleton(),
+            |b, _, _| b as f64,
+        );
+        let batch = g.plan_queries([(2usize, 0usize, 0usize), (5, 0, 0)]);
+        let mut out = Vec::new();
+        assert_eq!(g.query_batch_masked(&batch, &[false, false], &mut out), 0);
+        assert!(out.iter().all(|v| v.is_infinite()));
     }
 
     #[test]

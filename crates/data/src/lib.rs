@@ -25,7 +25,7 @@ pub mod store;
 pub mod tasks;
 
 pub use dataset::{Dataset, LengthStats};
-pub use minibatch::{GlobalBatchConfig, GlobalBatchIter};
+pub use minibatch::{BatchStream, GlobalBatchConfig, GlobalBatchIter};
 pub use sample::Sample;
 pub use store::{load_dataset, save_dataset};
 pub use tasks::{TaskCategory, TaskSpec};

@@ -113,8 +113,14 @@ impl std::error::Error for SimError {}
 /// Result of a successful simulation.
 #[derive(Debug, Clone)]
 pub struct SimResult {
-    /// End-to-end makespan (µs).
+    /// End-to-end makespan (µs) — *simulated* cluster time.
     pub makespan: Micros,
+    /// Host wall-clock the engine spent computing this run (µs). This is
+    /// the executor-side cost the plan-ahead runtime subtracts from its
+    /// overlap accounting: simulated `makespan` is the time the training
+    /// job occupies the cluster, `host_wall_us` the time the simulation
+    /// occupied this process.
+    pub host_wall_us: f64,
     /// Per-device peak activation memory.
     pub peak_memory: Vec<Bytes>,
     /// Per-device busy (computing) time.
@@ -172,9 +178,15 @@ impl PartialOrd for TimeKey {
 }
 
 /// The discrete-event engine.
+///
+/// Programs are held behind an `Arc`: the plan-ahead runtime's lowering
+/// stage compiles them once per iteration and shares them with the engine
+/// without copying (see [`Engine::with_shared`]), and [`Engine::run`]
+/// borrows, so one engine can execute its programs repeatedly (e.g. jitter
+/// sweeps over one compiled plan).
 pub struct Engine {
     config: EngineConfig,
-    programs: Vec<DeviceProgram>,
+    programs: std::sync::Arc<Vec<DeviceProgram>>,
 }
 
 impl Engine {
@@ -184,6 +196,19 @@ impl Engine {
     ///
     /// Panics if `config.memory_limits` does not match the device count.
     pub fn new(config: EngineConfig, programs: Vec<DeviceProgram>) -> Self {
+        Self::with_shared(config, std::sync::Arc::new(programs))
+    }
+
+    /// Create an engine over pre-compiled, shared device programs — the
+    /// lowering-stage entry point: no program data is copied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.memory_limits` does not match the device count.
+    pub fn with_shared(
+        config: EngineConfig,
+        programs: std::sync::Arc<Vec<DeviceProgram>>,
+    ) -> Self {
         assert_eq!(
             config.memory_limits.len(),
             programs.len(),
@@ -193,7 +218,8 @@ impl Engine {
     }
 
     /// Run the simulation to completion.
-    pub fn run(self) -> Result<SimResult, SimError> {
+    pub fn run(&self) -> Result<SimResult, SimError> {
+        let host_t0 = std::time::Instant::now();
         let n = self.programs.len();
         for (d, p) in self.programs.iter().enumerate() {
             p.validate()
@@ -291,6 +317,7 @@ impl Engine {
         let makespan = devs.iter().map(|s| s.clock).fold(last_time, f64::max);
         Ok(SimResult {
             makespan,
+            host_wall_us: host_t0.elapsed().as_secs_f64() * 1e6,
             peak_memory: devs.iter().map(|s| s.mem.peak()).collect(),
             busy_time: devs.iter().map(|s| s.busy).collect(),
             allocator_stats: devs.iter().map(|s| s.alloc.stats()).collect(),
