@@ -2,15 +2,20 @@
 //! behind execution.
 //!
 //! Runs the fig17 workload (65k-token mini-batches, GPT 6.7B and T5 11B
-//! on 8 GPUs) through both drivers:
+//! on 8 GPUs) through three drivers:
 //!
 //! * **serial**: [`run_training`] — the golden-reference plan → simulate
 //!   loop, where every microsecond of planning sits on the training
 //!   timeline;
-//! * **pipelined**: [`run_training_pipelined`] — the plan-ahead runtime:
-//!   a planner pool plans ahead of a bounded window while the executor
-//!   runs the current iteration (replicas in parallel, programs
-//!   pre-compiled by the lowering stage).
+//! * **pipelined (in-process)**: [`run_training_pipelined`] — the
+//!   plan-ahead runtime: a planner pool plans ahead of a bounded window
+//!   while the executor runs the current iteration (replicas in
+//!   parallel, programs pre-compiled by the lowering stage);
+//! * **pipelined (store-backed)**: the same runtime with
+//!   [`PlanDistribution::StoreBacked`] — plans cross the instruction
+//!   store as serialized wire blobs (the paper's Fig. 9 Redis
+//!   architecture), so this arm additionally pays and reports
+//!   serialize/deserialize overhead.
 //!
 //! Wall-clock is measured on the **training timeline** (simulated GPU
 //! execution + real host planning), the same planning-vs-iteration
@@ -24,14 +29,18 @@
 //!
 //! Emits `BENCH_runtime.json` with `{serial_wall_us, pipelined_wall_us,
 //! exposed_planning_us, hidden_planning_us, overlap_ratio}` plus
-//! per-model detail, and **exits nonzero** if any pipelined `RunReport`
-//! diverges from the serial driver's (`RunReport::behavior_eq`) — a
-//! silent behavior change must never masquerade as a wall-clock win.
+//! per-model and per-arm detail (the store arm under `"store"`), and
+//! **exits nonzero** if any pipelined `RunReport` — either arm —
+//! diverges from the serial driver's (`RunReport::behavior_eq`), or if
+//! either arm stops beating the serial timeline — a silent behavior
+//! change or a serialization bit-rot must never masquerade as a
+//! wall-clock win. `run_all --smoke` runs this bin with one capped
+//! iteration, so the store arm's divergence check runs in CI in minutes.
 
 use dynapipe_bench::{write_json, write_root_artifact, BenchOpts, Point};
 use dynapipe_core::{
-    run_training, run_training_pipelined, DynaPipePlanner, PlannerConfig, RunConfig,
-    RuntimeConfig,
+    run_training, run_training_pipelined, DynaPipePlanner, PlanDistribution, PlannerConfig,
+    RunConfig, RuntimeConfig,
 };
 use dynapipe_cost::{CostModel, ProfileOptions};
 use dynapipe_data::{Dataset, GlobalBatchConfig};
@@ -39,19 +48,30 @@ use dynapipe_model::{HardwareModel, ModelConfig, ParallelConfig};
 use std::sync::Arc;
 use std::time::Instant;
 
-struct ModelOutcome {
-    name: &'static str,
-    iterations: usize,
-    serial_wall_us: f64,
+struct ArmOutcome {
     pipelined_wall_us: f64,
     total_planning_us: f64,
     exposed_us: f64,
     hidden_us: f64,
     /// The library's `RuntimeStats::overlap_ratio` — single definition.
     overlap_ratio: f64,
-    serial_host_us: f64,
-    pipelined_host_us: f64,
+    host_us: f64,
+    /// Worker-side serialize time (µs; store arm only).
+    serialize_us: f64,
+    /// Executor-side take+decode time (µs; store arm only).
+    deserialize_us: f64,
+    /// Total wire bytes pushed through the store (store arm only).
+    blob_bytes: u64,
     divergence: Option<String>,
+}
+
+struct ModelOutcome {
+    name: &'static str,
+    iterations: usize,
+    serial_wall_us: f64,
+    serial_host_us: f64,
+    in_process: ArmOutcome,
+    store_backed: ArmOutcome,
 }
 
 fn run_model(
@@ -96,24 +116,62 @@ fn run_model(
         .map(|r| r.planning_time_us + r.measured_time)
         .sum();
 
-    let t1 = Instant::now();
-    let (pipelined, stats) = run_training_pipelined(&planner, dataset, gbs, run, runtime);
-    let pipelined_host_us = t1.elapsed().as_secs_f64() * 1e6;
-
-    let divergence = serial.behavior_eq(&pipelined).err();
+    let arm = |distribution: PlanDistribution| -> (ArmOutcome, usize) {
+        let t1 = Instant::now();
+        let (pipelined, stats) = run_training_pipelined(
+            &planner,
+            dataset,
+            gbs,
+            run,
+            RuntimeConfig {
+                distribution,
+                ..runtime
+            },
+        );
+        let host_us = t1.elapsed().as_secs_f64() * 1e6;
+        (
+            ArmOutcome {
+                pipelined_wall_us: stats.pipelined_wall_us,
+                total_planning_us: stats.total_planning_us(),
+                exposed_us: stats.exposed_planning_us(),
+                hidden_us: stats.hidden_planning_us(),
+                overlap_ratio: stats.overlap_ratio(),
+                host_us,
+                // `+ 0.0` maps the empty-sum -0.0 identity (in-process
+                // arm) to a plain 0.0 in the artifact.
+                serialize_us: stats.serialize_us.iter().sum::<f64>() + 0.0,
+                deserialize_us: stats.deserialize_us.iter().sum::<f64>() + 0.0,
+                blob_bytes: stats.blob_bytes.iter().map(|&b| b as u64).sum(),
+                divergence: serial.behavior_eq(&pipelined).err(),
+            },
+            pipelined.records.len(),
+        )
+    };
+    let (in_process, iterations) = arm(PlanDistribution::InProcess);
+    let (store_backed, _) = arm(PlanDistribution::StoreBacked);
     ModelOutcome {
         name,
-        iterations: pipelined.records.len(),
+        iterations,
         serial_wall_us,
-        pipelined_wall_us: stats.pipelined_wall_us,
-        total_planning_us: stats.total_planning_us(),
-        exposed_us: stats.exposed_planning_us(),
-        hidden_us: stats.hidden_planning_us(),
-        overlap_ratio: stats.overlap_ratio(),
         serial_host_us,
-        pipelined_host_us,
-        divergence,
+        in_process,
+        store_backed,
     }
+}
+
+fn arm_json(o: &ArmOutcome) -> serde_json::Value {
+    serde_json::json!({
+        "pipelined_wall_us": o.pipelined_wall_us,
+        "total_planning_us": o.total_planning_us,
+        "exposed_planning_us": o.exposed_us,
+        "hidden_planning_us": o.hidden_us,
+        "overlap_ratio": o.overlap_ratio,
+        "host_us": o.host_us,
+        "serialize_us": o.serialize_us,
+        "deserialize_us": o.deserialize_us,
+        "blob_bytes": o.blob_bytes,
+        "report_divergence": o.divergence.clone().unwrap_or_default(),
+    })
 }
 
 fn main() {
@@ -129,15 +187,8 @@ fn main() {
         rayon::current_num_threads()
     );
     println!(
-        "{:>5} | {:>12} {:>12} | {:>10} {:>10} {:>8} | {:>9} {:>9}",
-        "model",
-        "serial (ms)",
-        "pipe (ms)",
-        "plan (ms)",
-        "hidden",
-        "overlap",
-        "host-s",
-        "host-p"
+        "{:>5} {:>6} | {:>12} {:>12} | {:>10} {:>10} {:>8} | {:>10}",
+        "model", "arm", "serial (ms)", "pipe (ms)", "plan (ms)", "hidden", "overlap", "serde (ms)"
     );
 
     let mut outcomes = Vec::new();
@@ -146,36 +197,59 @@ fn main() {
         ("T5", ModelConfig::t5_11b(), ParallelConfig::new(1, 4, 2)),
     ] {
         let o = run_model(name, model, parallel, &dataset, iters, runtime);
-        let overlap = o.overlap_ratio;
-        println!(
-            "{:>5} | {:>12.1} {:>12.1} | {:>10.1} {:>10.1} {:>7.1}% | {:>9.1} {:>9.1}",
-            o.name,
-            o.serial_wall_us / 1e3,
-            o.pipelined_wall_us / 1e3,
-            o.total_planning_us / 1e3,
-            o.hidden_us / 1e3,
-            overlap * 100.0,
-            o.serial_host_us / 1e3,
-            o.pipelined_host_us / 1e3,
-        );
+        for (arm_name, a) in [("arc", &o.in_process), ("store", &o.store_backed)] {
+            println!(
+                "{:>5} {:>6} | {:>12.1} {:>12.1} | {:>10.1} {:>10.1} {:>7.1}% | {:>10.2}",
+                o.name,
+                arm_name,
+                o.serial_wall_us / 1e3,
+                a.pipelined_wall_us / 1e3,
+                a.total_planning_us / 1e3,
+                a.hidden_us / 1e3,
+                a.overlap_ratio * 100.0,
+                (a.serialize_us + a.deserialize_us) / 1e3,
+            );
+        }
         outcomes.push(o);
     }
 
     let serial_wall_us: f64 = outcomes.iter().map(|o| o.serial_wall_us).sum();
-    let pipelined_wall_us: f64 = outcomes.iter().map(|o| o.pipelined_wall_us).sum();
-    let exposed_planning_us: f64 = outcomes.iter().map(|o| o.exposed_us).sum();
-    let hidden_planning_us: f64 = outcomes.iter().map(|o| o.hidden_us).sum();
-    let total_planning_us: f64 = outcomes.iter().map(|o| o.total_planning_us).sum();
+    let pipelined_wall_us: f64 = outcomes.iter().map(|o| o.in_process.pipelined_wall_us).sum();
+    let exposed_planning_us: f64 = outcomes.iter().map(|o| o.in_process.exposed_us).sum();
+    let hidden_planning_us: f64 = outcomes.iter().map(|o| o.in_process.hidden_us).sum();
+    let total_planning_us: f64 = outcomes.iter().map(|o| o.in_process.total_planning_us).sum();
     let overlap_ratio = if total_planning_us > 0.0 {
         hidden_planning_us / total_planning_us
     } else {
         1.0
     };
+    let store_wall_us: f64 = outcomes
+        .iter()
+        .map(|o| o.store_backed.pipelined_wall_us)
+        .sum();
+    let store_hidden_us: f64 = outcomes.iter().map(|o| o.store_backed.hidden_us).sum();
+    let store_total_us: f64 = outcomes
+        .iter()
+        .map(|o| o.store_backed.total_planning_us)
+        .sum();
+    let store_overlap_ratio = if store_total_us > 0.0 {
+        store_hidden_us / store_total_us
+    } else {
+        1.0
+    };
+    let store_serde_us: f64 = outcomes
+        .iter()
+        .map(|o| o.store_backed.serialize_us + o.store_backed.deserialize_us)
+        .sum();
     println!(
-        "\n  total: serial {:.1} ms vs pipelined {:.1} ms — {:.1}% of planning hidden",
+        "\n  total: serial {:.1} ms vs pipelined {:.1} ms (in-process, {:.1}% hidden) \
+         vs {:.1} ms (store-backed, {:.1}% hidden, {:.2} ms serde)",
         serial_wall_us / 1e3,
         pipelined_wall_us / 1e3,
-        overlap_ratio * 100.0
+        overlap_ratio * 100.0,
+        store_wall_us / 1e3,
+        store_overlap_ratio * 100.0,
+        store_serde_us / 1e3,
     );
 
     let per_model = serde_json::Value::Object(
@@ -187,14 +261,9 @@ fn main() {
                     serde_json::json!({
                         "iterations": o.iterations,
                         "serial_wall_us": o.serial_wall_us,
-                        "pipelined_wall_us": o.pipelined_wall_us,
-                        "total_planning_us": o.total_planning_us,
-                        "exposed_planning_us": o.exposed_us,
-                        "hidden_planning_us": o.hidden_us,
-                        "overlap_ratio": o.overlap_ratio,
                         "serial_host_us": o.serial_host_us,
-                        "pipelined_host_us": o.pipelined_host_us,
-                        "report_divergence": o.divergence.clone().unwrap_or_default(),
+                        "in_process": arm_json(&o.in_process),
+                        "store": arm_json(&o.store_backed),
                     }),
                 )
             })
@@ -215,6 +284,18 @@ fn main() {
             serde_json::json!(hidden_planning_us),
         ),
         ("overlap_ratio".to_string(), serde_json::json!(overlap_ratio)),
+        (
+            "store_pipelined_wall_us".to_string(),
+            serde_json::json!(store_wall_us),
+        ),
+        (
+            "store_overlap_ratio".to_string(),
+            serde_json::json!(store_overlap_ratio),
+        ),
+        (
+            "store_serde_us".to_string(),
+            serde_json::json!(store_serde_us),
+        ),
         ("iterations".to_string(), serde_json::json!(iters)),
         (
             "plan_ahead".to_string(),
@@ -232,21 +313,29 @@ fn main() {
     write_root_artifact(&opts, "BENCH_runtime.json", &out);
     write_json("fig17_planahead", &out);
 
-    // Fail loudly on any behavioral divergence: the pipelined runtime is
-    // only allowed to move wall-clock, never results.
+    // Fail loudly on any behavioral divergence: neither pipelined arm is
+    // allowed to move anything but wall-clock. The store arm is exactly
+    // where serialization bit-rot would surface.
     let mut failed = false;
     for o in &outcomes {
-        if let Some(d) = &o.divergence {
-            eprintln!("error: {} pipelined report diverged from serial: {d}", o.name);
-            failed = true;
+        for (arm_name, a) in [("in-process", &o.in_process), ("store-backed", &o.store_backed)] {
+            if let Some(d) = &a.divergence {
+                eprintln!(
+                    "error: {} {arm_name} report diverged from serial: {d}",
+                    o.name
+                );
+                failed = true;
+            }
         }
     }
-    if pipelined_wall_us >= serial_wall_us {
-        eprintln!(
-            "error: pipelined wall {pipelined_wall_us} µs did not beat serial \
-             {serial_wall_us} µs — planning is no longer being hidden"
-        );
-        failed = true;
+    for (arm_name, wall) in [("in-process", pipelined_wall_us), ("store-backed", store_wall_us)] {
+        if wall >= serial_wall_us {
+            eprintln!(
+                "error: {arm_name} pipelined wall {wall} µs did not beat serial \
+                 {serial_wall_us} µs — planning is no longer being hidden"
+            );
+            failed = true;
+        }
     }
     if failed {
         std::process::exit(1);

@@ -16,7 +16,9 @@
 //! panics, diverges from its reference, or stops emitting its artifact —
 //! in minutes instead of a full regeneration run. Divergence checks
 //! (`planning_speed`, `fig17_planahead`) still run and still fail the
-//! sweep; smoke runs never touch the root artifacts.
+//! sweep — including `fig17_planahead`'s store-backed arm, whose
+//! `behavior_eq` check catches plan-serialization bit-rot; smoke runs
+//! never touch the root artifacts.
 
 use std::process::Command;
 

@@ -6,6 +6,13 @@
 //! descriptors taken from the cost model's *ground truth* sibling — the
 //! analytic hardware model — so the simulator executes what a real executor
 //! would, while the planner only ever saw interpolated estimates.
+//!
+//! Lowered programs are serializable: in the store-backed runtime they
+//! cross the instruction store as part of the [`crate::store::StoredPlan`]
+//! wire format, so compilation output must survive encode/decode bitwise
+//! (durations and byte counts are the simulation — a flipped float bit is
+//! a silently different training run). Pinned by the roundtrip test below
+//! and the property suite in `tests/serialization.rs`.
 
 use dynapipe_comm::{ExecutionPlan, Instr};
 use dynapipe_cost::CostModel;
@@ -253,6 +260,21 @@ mod tests {
             result.utilization() > 0.2,
             "pipeline should be reasonably busy"
         );
+    }
+
+    #[test]
+    fn compiled_programs_survive_the_wire_bitwise() {
+        // The store-backed runtime ships these over the instruction
+        // store: value equality plus re-encode identity (deterministic
+        // shortest-roundtrip floats) pins the wire bit for bit.
+        let cm = cm();
+        let plan = toy_plan(&cm, 4);
+        for p in &compile_replica(&cm, &plan) {
+            let json = serde_json::to_string(p).unwrap();
+            let back: DeviceProgram = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, p);
+            assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        }
     }
 
     #[test]

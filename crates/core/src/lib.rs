@@ -18,8 +18,11 @@
 //! * [`driver`] — run training iterations against the discrete-event
 //!   simulator, collecting throughput, padding and estimate-vs-measured
 //!   records (the raw data behind Figs. 13–18).
-//! * [`store`] — the distributed-instruction-store stand-in: a sharded
-//!   in-process map with the same push/fetch decoupling.
+//! * [`store`] — the distributed instruction store: serialized plan
+//!   blobs keyed by iteration, with capacity backpressure, tombstones on
+//!   consumption, poison on planner crash, and per-shard counters — the
+//!   runtime's plan-distribution layer in
+//!   [`runtime::PlanDistribution::StoreBacked`] mode.
 //! * [`parallel`] — plan generation across worker threads (§8.5's
 //!   planning/executing overlap).
 //! * [`runtime`] — the pipelined plan-ahead runtime: a planner pool plans
@@ -47,7 +50,10 @@ pub use planner::{
     ScheduleKind,
 };
 pub use runtime::{
-    run_training_pipelined, CompiledIteration, IterationExecution, ReplicaParallelism,
-    RuntimeConfig, RuntimeStats,
+    run_training_pipelined, CompiledIteration, IterationExecution, PlanDistribution,
+    ReplicaParallelism, RuntimeConfig, RuntimeStats,
 };
-pub use store::InstructionStore;
+pub use store::{
+    InstructionStore, StoreConfig, StoreError, StoreStats, StoredLowered, StoredOutcome,
+    StoredPlan,
+};

@@ -56,9 +56,11 @@ impl ParallelPlanStats {
 /// into `store` keyed by iteration index.
 ///
 /// Workers receive mini-batches as borrowed slices (`&minibatches[i]`);
-/// plan outputs go straight into the sharded store, so peak memory beyond
-/// the caller's inputs is the plans themselves plus one in-flight
-/// partition per worker.
+/// plan outputs are serialized into [`crate::store::StoredPlan`] wire
+/// blobs and pushed straight into the sharded store — the same boundary
+/// the store-backed runtime crosses — so peak memory beyond the caller's
+/// inputs is the blobs themselves plus one in-flight partition per
+/// worker.
 pub fn generate_plans_parallel(
     planner: Arc<DynaPipePlanner>,
     minibatches: &[Vec<Sample>],
@@ -82,8 +84,24 @@ pub fn generate_plans_parallel(
                 peak.fetch_max(now, Ordering::SeqCst);
                 let out = match planner.plan_iteration(minibatches[i].as_slice()) {
                     Ok(plan) => {
+                        // `per_plan_us` stays the planner's own wall time:
+                        // serializing + pushing is distribution cost, paid
+                        // here (as the paper's planners pay Redis) but not
+                        // counted as planning.
                         let t = plan.planning_time_us;
-                        store.push(i, plan);
+                        let blob = crate::store::StoredPlan {
+                            iteration: i,
+                            outcome: crate::store::StoredOutcome::Plan(
+                                crate::store::StoredLowered {
+                                    plan,
+                                    programs: Vec::new(), // lowering happens executor-side here
+                                },
+                            ),
+                        }
+                        .encode();
+                        store
+                            .push(i, blob)
+                            .unwrap_or_else(|e| panic!("storing plan {i} failed: {e}"));
                         (i, Ok(t))
                     }
                     Err(e) => (i, Err(e)),

@@ -74,7 +74,12 @@ impl Default for PlannerConfig {
 }
 
 /// Why planning failed for a mini-batch.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Serializable: a planning failure travels through the
+/// [`crate::store::InstructionStore`] like any other outcome, so a
+/// store-backed executor reports it at exactly the iteration the serial
+/// driver would, with an identical message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PlanError {
     /// No recomputation mode yields a memory-feasible plan.
     Infeasible(String),
@@ -91,7 +96,10 @@ impl std::fmt::Display for PlanError {
 impl std::error::Error for PlanError {}
 
 /// The compiled plan for one data-parallel replica.
-#[derive(Debug, Clone)]
+///
+/// Serializable (float-exact): replica plans are part of the
+/// [`crate::store::StoredPlan`] wire format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReplicaPlan {
     /// Instruction streams and shapes.
     pub plan: ExecutionPlan,
@@ -104,7 +112,10 @@ pub struct ReplicaPlan {
 }
 
 /// A complete iteration plan across replicas.
-#[derive(Debug, Clone)]
+///
+/// Serializable (float-exact): iteration plans cross the instruction
+/// store's process boundary in the store-backed runtime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IterationPlan {
     /// One plan per data-parallel replica.
     pub replicas: Vec<ReplicaPlan>,

@@ -28,6 +28,37 @@
 //!   bounded queue and runs each iteration's independent replica engines
 //!   in parallel.
 //!
+//! # Plan distribution
+//!
+//! [`RuntimeConfig::distribution`] selects how lowered plans travel from
+//! the planner pool to the executor:
+//!
+//! * [`PlanDistribution::InProcess`] — shared `Arc`s through the
+//!   plan-ahead queue (single-host fast path, and the golden reference
+//!   for the store-backed mode);
+//! * [`PlanDistribution::StoreBacked`] — the paper's Fig. 9 architecture:
+//!   each worker **serializes** the lowered iteration into a
+//!   [`crate::store::StoredPlan`] wire blob and pushes it into an
+//!   [`InstructionStore`] keyed by iteration; an executor-side
+//!   **prefetcher** takes each blob in order (bounded wait), decodes it
+//!   ahead of execution, and hands the executor engines over the owned
+//!   programs — Fig. 9's push / prefetch / delete-on-consumption cycle.
+//!   This models the process boundary of a multi-host planner pool:
+//!   nothing survives the hop except what the wire format carries.
+//!   The bounded window's slots count store occupancy — a worker holds
+//!   its claimed ticket from push until the executor's take — so live
+//!   blobs never exceed `plan_ahead` and the queue's backpressure
+//!   carries over to the store (whose capacity is set to the window as a
+//!   belt-and-braces bound). On failure teardown the store is cleared:
+//!   speculative blobs are discarded, never orphaned. A worker panic
+//!   poisons queue *and* store, so a dead planner fails the executor
+//!   instead of deadlocking it.
+//!
+//! Both modes must produce bit-identical [`RunReport`]s (the
+//! serialization roundtrip is float-exact); the differential harness in
+//! `crates/core/tests/runtime_equivalence.rs` pins every scenario across
+//! serial driver × in-process × store-backed.
+//!
 //! # Determinism
 //!
 //! The pipelined runtime is **bit-identical** to the serial driver:
@@ -59,6 +90,7 @@
 
 use crate::driver::{record_iteration, IterationPlanner, RunConfig, RunReport};
 use crate::planner::{IterationPlan, PlanError};
+use crate::store::{InstructionStore, StoreStats, StoredLowered, StoredOutcome, StoredPlan};
 use dynapipe_batcher::PaddingStats;
 use dynapipe_cost::CostModel;
 use dynapipe_data::{BatchStream, Dataset, GlobalBatchConfig, Sample};
@@ -67,17 +99,39 @@ use dynapipe_sim::{DeviceProgram, Engine, EngineConfig, JitterConfig, SimResult}
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// How long the executor waits for a blob the queue says was pushed, and
+/// a pushing worker waits for a capacity slot the window accounting says
+/// is free. Reaching either is a crashed-counterpart signal, not normal
+/// backpressure — both paths fail loudly instead of deadlocking.
+const STORE_WAIT: Duration = Duration::from_secs(60);
+
+/// How lowered plans travel from the planner pool to the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanDistribution {
+    /// Shared `Arc`s through the in-process plan-ahead queue (the golden
+    /// reference for the store-backed path).
+    #[default]
+    InProcess,
+    /// Serialized [`StoredPlan`] blobs through the [`InstructionStore`]
+    /// — the paper's Fig. 9 planner/executor decoupling, modeling a real
+    /// process boundary.
+    StoreBacked,
+}
 
 /// Configuration of the pipelined runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RuntimeConfig {
     /// Bounded plan-ahead window: the planner pool may run at most this
     /// many iterations ahead of the executor (≥ 1). Bounds both
-    /// speculation depth and resident compiled plans.
+    /// speculation depth and resident compiled plans (and, store-backed,
+    /// live blobs in the store).
     pub plan_ahead: usize,
     /// Planner worker threads (≥ 1).
     pub workers: usize,
+    /// Plan-distribution layer between the pool and the executor.
+    pub distribution: PlanDistribution,
 }
 
 impl Default for RuntimeConfig {
@@ -85,6 +139,7 @@ impl Default for RuntimeConfig {
         RuntimeConfig {
             plan_ahead: 4,
             workers: rayon::current_num_threads().saturating_sub(1).max(1),
+            distribution: PlanDistribution::InProcess,
         }
     }
 }
@@ -95,6 +150,7 @@ impl RuntimeConfig {
         RuntimeConfig {
             plan_ahead: self.plan_ahead.max(1),
             workers: self.workers.max(1),
+            distribution: self.distribution,
         }
     }
 }
@@ -236,10 +292,26 @@ pub fn execute_lowered(
     Ok(exec)
 }
 
+/// What a worker hands the executor for one iteration: the payload
+/// itself (in-process) or a receipt for a blob parked in the store.
+enum PlannedPayload {
+    /// The lowered iteration, shared in-process.
+    InProcess(Box<Result<CompiledIteration, PlanError>>),
+    /// The outcome was serialized and pushed into the [`InstructionStore`]
+    /// keyed by this iteration; only the serialization accounting rides
+    /// the queue.
+    Stored {
+        /// Worker wall-clock spent encoding + pushing the blob (µs).
+        serialize_us: f64,
+        /// Size of the pushed wire blob.
+        blob_bytes: usize,
+    },
+}
+
 /// A planned (and lowered) iteration travelling through the plan-ahead
 /// queue.
 struct PlannedIteration {
-    outcome: Result<CompiledIteration, PlanError>,
+    payload: PlannedPayload,
     /// Worker wall-clock spent planning (µs).
     plan_us: f64,
     /// Worker wall-clock spent lowering (µs).
@@ -253,6 +325,10 @@ enum WaitOutcome {
     Planned(PlannedIteration),
     /// The epoch ended before this iteration.
     EndOfEpoch,
+    /// The run was cancelled (executor failure/teardown) before this
+    /// iteration completed planning — only ever observed by the
+    /// store-mode prefetcher, which runs ahead of the executor.
+    Cancelled,
 }
 
 struct QueueState {
@@ -357,7 +433,10 @@ impl PlanAheadQueue {
     }
 
     /// Block until iteration `index`'s outcome is available (executor
-    /// side, strictly in order).
+    /// side, strictly in order). Does **not** free the iteration's
+    /// window slot: call [`PlanAheadQueue::advance`] once the payload is
+    /// fully claimed (store-backed, that is after the blob is taken, so
+    /// window slots count store occupancy).
     ///
     /// # Panics
     ///
@@ -371,8 +450,6 @@ impl PlanAheadQueue {
                 panic!("a planner worker panicked while planning ahead");
             }
             if let Some(planned) = st.ready.remove(&index) {
-                st.next_consume = index + 1;
-                self.cv.notify_all();
                 return WaitOutcome::Planned(planned);
             }
             if let Some(len) = st.epoch_len {
@@ -380,8 +457,19 @@ impl PlanAheadQueue {
                     return WaitOutcome::EndOfEpoch;
                 }
             }
+            if st.cancelled {
+                return WaitOutcome::Cancelled;
+            }
             st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
+    }
+
+    /// Release iteration `index`'s window slot so the planner pool may
+    /// claim another ticket.
+    fn advance(&self, index: usize) {
+        let mut st = self.lock();
+        st.next_consume = index + 1;
+        self.cv.notify_all();
     }
 
     /// Stop the planner pool (failure or normal teardown).
@@ -406,21 +494,113 @@ impl PlanAheadQueue {
 }
 
 /// Unwind guard for a planner worker holding a claimed ticket: if the
-/// planner or the lowering stage panics, the ticket would never be
-/// completed and the executor's in-order wait would deadlock. Dropping
-/// the armed guard during unwind poisons the queue instead, so the
-/// executor re-raises and the panic propagates through the scope join.
+/// planner, the lowering stage, or the store push panics, the ticket
+/// would never be completed and the executor's in-order wait would
+/// deadlock. Dropping the armed guard during unwind poisons the queue —
+/// and, store-backed, the store, so an executor blocked in
+/// `take_blocking` fails too — so the executor re-raises and the panic
+/// propagates through the scope join.
 struct TicketGuard<'a> {
     queue: &'a PlanAheadQueue,
+    store: Option<&'a InstructionStore>,
     armed: bool,
 }
 
 impl Drop for TicketGuard<'_> {
     fn drop(&mut self) {
         if self.armed {
+            if let Some(store) = self.store {
+                store.poison("planner worker panicked while planning ahead");
+            }
             self.queue.poison();
         }
     }
+}
+
+/// An iteration ready for execution, with its full distribution-path
+/// accounting — produced straight off the queue (in-process) or by the
+/// store-mode prefetcher (take + decode already paid).
+struct ClaimedIteration {
+    outcome: Result<CompiledIteration, PlanError>,
+    plan_us: f64,
+    lower_us: f64,
+    /// Host time since run start when the *executable* plan became
+    /// available to the executor (store mode: after take + decode).
+    ready_us: f64,
+    serialize_us: f64,
+    blob_bytes: usize,
+    deserialize_us: f64,
+}
+
+/// What the store-mode prefetcher hands the executor.
+enum Prefetched {
+    Iteration(Box<ClaimedIteration>),
+    EndOfEpoch,
+    /// The store lost a blob the queue promised (crashed counterpart /
+    /// corrupt wire blob); the executor re-raises the message.
+    Lost(String),
+}
+
+/// Execute one claimed iteration and fold it into the report and stats;
+/// returns `false` when the run must stop (planning or execution
+/// failure). Shared by both distribution modes so the fold — and thus
+/// the report — is identical by construction.
+#[allow(clippy::too_many_arguments)]
+fn fold_claimed(
+    cm: &CostModel,
+    run: &RunConfig,
+    it: usize,
+    claimed: ClaimedIteration,
+    store_mode: bool,
+    report: &mut RunReport,
+    stats: &mut RuntimeStats,
+    vclock: &mut f64,
+) -> bool {
+    let compiled = match claimed.outcome {
+        Ok(c) => c,
+        Err(e) => {
+            report.failure = Some(format!("iteration {it}: {e}"));
+            return false;
+        }
+    };
+    let exec = match execute_lowered(
+        cm,
+        &compiled.plan,
+        &compiled.programs,
+        run,
+        it,
+        ReplicaParallelism::Parallel,
+    ) {
+        Ok(x) => x,
+        Err(e) => {
+            report.failure = Some(format!("iteration {it}: {e}"));
+            return false;
+        }
+    };
+    // Overlap accounting on the training timeline: the virtual clock
+    // waits until the executable plan is ready — store-backed, that
+    // includes any take + decode the prefetcher could not hide — then
+    // advances by the simulated execution.
+    let exposed = (claimed.ready_us - *vclock).max(0.0);
+    *vclock = (*vclock).max(claimed.ready_us) + exec.measured_time;
+    stats.planning_us.push(claimed.plan_us + claimed.lower_us);
+    stats.exec_sim_us.push(exec.measured_time);
+    stats.exposed_us.push(exposed);
+    stats.exec_host_us += exec.host_wall_us;
+    if store_mode {
+        stats.serialize_us.push(claimed.serialize_us);
+        stats.deserialize_us.push(claimed.deserialize_us);
+        stats.blob_bytes.push(claimed.blob_bytes);
+    }
+    record_iteration(
+        report,
+        cm,
+        &compiled.plan,
+        exec.measured_time,
+        exec.peak_memory,
+        exec.allocator_stall_us,
+    );
+    true
 }
 
 /// Timing breakdown of a pipelined run — the data behind
@@ -448,17 +628,46 @@ pub struct RuntimeStats {
     pub workers: usize,
     /// Plan-ahead window used.
     pub plan_ahead: usize,
+    /// Plan-distribution layer used.
+    pub distribution: PlanDistribution,
+    /// Per executed iteration: worker time spent serializing + pushing
+    /// the plan blob (µs). Empty in in-process mode.
+    pub serialize_us: Vec<f64>,
+    /// Per executed iteration: prefetcher time spent taking + decoding
+    /// the plan blob (µs). Usually hidden behind the previous
+    /// iteration's execution — the prefetcher decodes ahead — with
+    /// iteration 0's decode unavoidably exposed. Empty in in-process
+    /// mode.
+    pub deserialize_us: Vec<f64>,
+    /// Per executed iteration: wire-blob size pushed through the store.
+    /// Empty in in-process mode.
+    pub blob_bytes: Vec<usize>,
+    /// Final instruction-store counters (store-backed mode only),
+    /// captured after teardown — `occupancy`/`bytes` must be zero (no
+    /// orphaned blobs) and `peak_occupancy ≤ plan_ahead` (window slots
+    /// count store occupancy).
+    pub store: Option<StoreStats>,
 }
 
 impl RuntimeStats {
-    /// Total planning + lowering time across iterations (µs).
+    /// Total planning + lowering time across iterations (µs), including
+    /// the store-backed serialize/deserialize overhead — every
+    /// microsecond the plan-distribution path costs beyond execution.
     pub fn total_planning_us(&self) -> f64 {
-        self.planning_us.iter().sum()
+        // `+ 0.0` normalizes std's empty-f64-sum identity of -0.0, which
+        // would otherwise leak a literal "-0.0" into the JSON artifacts.
+        self.planning_us.iter().sum::<f64>() + self.serde_overhead_us() + 0.0
+    }
+
+    /// Total serialize + deserialize overhead of the store-backed path
+    /// (µs); zero in in-process mode.
+    pub fn serde_overhead_us(&self) -> f64 {
+        self.serialize_us.iter().sum::<f64>() + self.deserialize_us.iter().sum::<f64>() + 0.0
     }
 
     /// Planning time exposed on the training timeline (µs).
     pub fn exposed_planning_us(&self) -> f64 {
-        self.exposed_us.iter().sum()
+        self.exposed_us.iter().sum::<f64>() + 0.0
     }
 
     /// Planning time hidden behind execution (µs).
@@ -522,6 +731,23 @@ pub fn run_training_pipelined(
         max_plans_resident: 0,
         workers: config.workers,
         plan_ahead: config.plan_ahead,
+        distribution: config.distribution,
+        serialize_us: Vec::new(),
+        deserialize_us: Vec::new(),
+        blob_bytes: Vec::new(),
+        store: None,
+    };
+
+    // Store-backed distribution: the window accounting already bounds
+    // live blobs to `plan_ahead` (a worker holds its ticket from push
+    // until the executor's take), so the capacity gate is a hard
+    // backstop that turns an accounting bug into a loud timeout rather
+    // than unbounded growth.
+    let store = match config.distribution {
+        PlanDistribution::InProcess => None,
+        PlanDistribution::StoreBacked => {
+            Some(InstructionStore::with_capacity(config.plan_ahead))
+        }
     };
 
     // Nested parallelism budget per planner worker: the pool's threads are
@@ -533,6 +759,7 @@ pub fn run_training_pipelined(
         for _ in 0..config.workers {
             let queue = &queue;
             let stream = &stream;
+            let store = store.as_ref();
             scope.spawn(move || {
                 let pool = rayon::ThreadPoolBuilder::new()
                     .num_threads(nested_threads)
@@ -542,6 +769,7 @@ pub fn run_training_pipelined(
                     while let Some((index, batch)) = queue.claim(stream) {
                         let mut guard = TicketGuard {
                             queue,
+                            store,
                             armed: true,
                         };
                         let t_plan = Instant::now();
@@ -550,12 +778,59 @@ pub fn run_training_pipelined(
                         let t_lower = Instant::now();
                         // The lowering stage: compile on the worker so the
                         // executor receives ready-to-run programs.
-                        let outcome = planned.map(|p| lower_iteration(cm, p));
-                        let lower_us = t_lower.elapsed().as_secs_f64() * 1e6;
+                        let (payload, lower_us) = match store {
+                            None => {
+                                let outcome = planned.map(|p| lower_iteration(cm, p));
+                                let lower_us = t_lower.elapsed().as_secs_f64() * 1e6;
+                                (PlannedPayload::InProcess(Box::new(outcome)), lower_us)
+                            }
+                            Some(store) => {
+                                // Lower to *owned* programs: they are about
+                                // to cross the wire, so sharing buys nothing.
+                                let outcome = match planned {
+                                    Ok(plan) => {
+                                        let programs = plan
+                                            .replicas
+                                            .iter()
+                                            .map(|r| {
+                                                crate::compile::compile_replica(cm, &r.plan)
+                                            })
+                                            .collect();
+                                        StoredOutcome::Plan(StoredLowered { plan, programs })
+                                    }
+                                    Err(e) => StoredOutcome::Failed(e),
+                                };
+                                let lower_us = t_lower.elapsed().as_secs_f64() * 1e6;
+                                let t_ser = Instant::now();
+                                let blob = StoredPlan {
+                                    iteration: index,
+                                    outcome,
+                                }
+                                .encode();
+                                let blob_bytes = blob.len();
+                                // Window slots count store occupancy, so a
+                                // healthy run never blocks here; a timeout
+                                // means the executor died, and the panic
+                                // poisons the queue via the guard.
+                                store
+                                    .push_blocking(index, blob, STORE_WAIT)
+                                    .unwrap_or_else(|e| {
+                                        panic!("instruction store push failed: {e}")
+                                    });
+                                let serialize_us = t_ser.elapsed().as_secs_f64() * 1e6;
+                                (
+                                    PlannedPayload::Stored {
+                                        serialize_us,
+                                        blob_bytes,
+                                    },
+                                    lower_us,
+                                )
+                            }
+                        };
                         queue.complete(
                             index,
                             PlannedIteration {
-                                outcome,
+                                payload,
                                 plan_us,
                                 lower_us,
                                 ready_at_us: t0.elapsed().as_secs_f64() * 1e6,
@@ -568,57 +843,175 @@ pub fn run_training_pipelined(
         }
 
         // The executor: consume strictly in order on the caller thread.
+        //
+        // In-process, the payload comes straight off the queue. Store-
+        // backed, a **prefetcher** thread runs between the queue and the
+        // executor — it takes each blob in order, decodes it, then hands
+        // the executable plan over a small bounded channel. That is the
+        // paper's executor-side prefetch: deserialization overlaps the
+        // previous iteration's execution instead of sitting on the
+        // critical path (only iteration 0's decode is unavoidably
+        // exposed). The window slot is released only after the blob is
+        // taken, so window slots still count store occupancy.
         let mut vclock = 0.0f64;
-        for it in 0..cap {
-            let planned = match queue.wait_for(it) {
-                WaitOutcome::EndOfEpoch => break,
-                WaitOutcome::Planned(p) => p,
-            };
-            let compiled = match planned.outcome {
-                Ok(c) => c,
-                Err(e) => {
-                    report.failure = Some(format!("iteration {it}: {e}"));
-                    break;
+        match &store {
+            None => {
+                for it in 0..cap {
+                    let planned = match queue.wait_for(it) {
+                        WaitOutcome::EndOfEpoch => break,
+                        WaitOutcome::Cancelled => {
+                            unreachable!("only the executor cancels, after this loop")
+                        }
+                        WaitOutcome::Planned(p) => p,
+                    };
+                    queue.advance(it);
+                    let PlannedPayload::InProcess(outcome) = planned.payload else {
+                        unreachable!("in-process runs carry in-process payloads")
+                    };
+                    let claimed = ClaimedIteration {
+                        outcome: *outcome,
+                        plan_us: planned.plan_us,
+                        lower_us: planned.lower_us,
+                        ready_us: planned.ready_at_us,
+                        serialize_us: 0.0,
+                        blob_bytes: 0,
+                        deserialize_us: 0.0,
+                    };
+                    if !fold_claimed(
+                        cm,
+                        &run,
+                        it,
+                        claimed,
+                        false,
+                        &mut report,
+                        &mut stats,
+                        &mut vclock,
+                    ) {
+                        break;
+                    }
                 }
-            };
-            let exec = match execute_lowered(
-                cm,
-                &compiled.plan,
-                &compiled.programs,
-                &run,
-                it,
-                ReplicaParallelism::Parallel,
-            ) {
-                Ok(x) => x,
-                Err(e) => {
-                    report.failure = Some(format!("iteration {it}: {e}"));
-                    break;
+            }
+            Some(store) => {
+                let (tx, rx) = std::sync::mpsc::sync_channel::<Prefetched>(1);
+                {
+                    let queue = &queue;
+                    scope.spawn(move || {
+                        for it in 0..cap {
+                            let planned = match queue.wait_for(it) {
+                                WaitOutcome::Cancelled => return,
+                                WaitOutcome::EndOfEpoch => {
+                                    let _ = tx.send(Prefetched::EndOfEpoch);
+                                    return;
+                                }
+                                WaitOutcome::Planned(p) => p,
+                            };
+                            let PlannedPayload::Stored {
+                                serialize_us,
+                                blob_bytes,
+                            } = planned.payload
+                            else {
+                                unreachable!("store-backed runs carry stored payloads")
+                            };
+                            let t_deser = Instant::now();
+                            let decoded = store
+                                .take_blocking(it, STORE_WAIT)
+                                .map_err(|e| format!("take: {e}"))
+                                .and_then(|blob| {
+                                    StoredPlan::decode(&blob)
+                                        .map_err(|e| format!("decode: {e}"))
+                                });
+                            // Blob out of the store: the window slot is free.
+                            queue.advance(it);
+                            let stored = match decoded {
+                                Ok(s) => s,
+                                Err(e) => {
+                                    // Losing a blob the queue promised is a
+                                    // crashed counterpart / corrupt wire
+                                    // blob, not a recoverable outcome.
+                                    let _ = tx.send(Prefetched::Lost(format!(
+                                        "instruction store lost iteration {it}: {e}"
+                                    )));
+                                    return;
+                                }
+                            };
+                            debug_assert_eq!(stored.iteration, it, "blob is self-describing");
+                            let outcome = match stored.outcome {
+                                StoredOutcome::Plan(StoredLowered { plan, programs }) => {
+                                    // Engines will run over the owned,
+                                    // deserialized programs — nothing from
+                                    // the planner side of the boundary is
+                                    // referenced.
+                                    let programs =
+                                        programs.into_iter().map(Arc::new).collect();
+                                    Ok(CompiledIteration { plan, programs })
+                                }
+                                StoredOutcome::Failed(e) => Err(e),
+                            };
+                            let claimed = ClaimedIteration {
+                                outcome,
+                                plan_us: planned.plan_us,
+                                lower_us: planned.lower_us,
+                                ready_us: t0.elapsed().as_secs_f64() * 1e6,
+                                serialize_us,
+                                blob_bytes,
+                                deserialize_us: t_deser.elapsed().as_secs_f64() * 1e6,
+                            };
+                            if tx.send(Prefetched::Iteration(Box::new(claimed))).is_err() {
+                                return; // executor stopped consuming
+                            }
+                        }
+                        let _ = tx.send(Prefetched::EndOfEpoch);
+                    });
                 }
-            };
-            // Overlap accounting on the training timeline: the virtual
-            // clock waits for the plan's host-time readiness, then
-            // advances by the simulated execution.
-            let exposed = (planned.ready_at_us - vclock).max(0.0);
-            vclock = vclock.max(planned.ready_at_us) + exec.measured_time;
-            stats.planning_us.push(planned.plan_us + planned.lower_us);
-            stats.exec_sim_us.push(exec.measured_time);
-            stats.exposed_us.push(exposed);
-            stats.exec_host_us += exec.host_wall_us;
-            record_iteration(
-                &mut report,
-                cm,
-                &compiled.plan,
-                exec.measured_time,
-                exec.peak_memory,
-                exec.allocator_stall_us,
-            );
+                for it in 0..cap {
+                    match rx.recv() {
+                        Ok(Prefetched::EndOfEpoch) => break,
+                        Ok(Prefetched::Lost(e)) => {
+                            queue.cancel();
+                            panic!("{e}");
+                        }
+                        Err(_) => {
+                            // The prefetcher died without a message: a
+                            // planner worker panicked under it. Unblock the
+                            // pool and re-raise; the scope join surfaces
+                            // the original panic.
+                            queue.cancel();
+                            panic!("a planner worker panicked while planning ahead");
+                        }
+                        Ok(Prefetched::Iteration(claimed)) => {
+                            if !fold_claimed(
+                                cm,
+                                &run,
+                                it,
+                                *claimed,
+                                true,
+                                &mut report,
+                                &mut stats,
+                                &mut vclock,
+                            ) {
+                                break;
+                            }
+                        }
+                    }
+                }
+                // Executor done (epoch end, cap, or failure): releasing the
+                // channel unblocks a prefetcher stuck in `send`.
+                drop(rx);
+            }
         }
         stats.pipelined_wall_us = vclock;
         // Teardown: stop workers that are waiting on the window or about
-        // to claim past a failure.
+        // to claim past a failure, and wake a prefetcher waiting on a
+        // plan that will never come.
         queue.cancel();
     });
 
+    // Workers are joined: discard speculative blobs past a failure so the
+    // store never leaks plans (they are counted as `discarded`).
+    if let Some(store) = &store {
+        store.clear_remaining();
+        stats.store = Some(store.stats());
+    }
     stats.host_wall_us = t0.elapsed().as_secs_f64() * 1e6;
     stats.max_plans_resident = queue.max_ready();
     (report, stats)
@@ -704,6 +1097,7 @@ mod tests {
             RuntimeConfig {
                 plan_ahead: 2,
                 workers: 2,
+                ..Default::default()
             },
         );
         serial.behavior_eq(&pipelined).unwrap();
@@ -791,9 +1185,90 @@ mod tests {
             RuntimeConfig {
                 plan_ahead: 3,
                 workers: 2,
+                ..Default::default()
             },
         );
         serial.behavior_eq(&pipelined).unwrap();
         assert!(!pipelined.records.is_empty());
+    }
+
+    #[test]
+    fn store_backed_run_matches_serial_and_accounts_the_store() {
+        let cm = cost_model(2, 1);
+        let planner = DynaPipePlanner::new(cm, PlannerConfig::default());
+        let dataset = Dataset::flanv2(39, 400);
+        let run = RunConfig {
+            max_iterations: Some(3),
+            ..Default::default()
+        };
+        let serial = run_training(&planner, &dataset, gbs(), run);
+        let (pipelined, stats) = run_training_pipelined(
+            &planner,
+            &dataset,
+            gbs(),
+            run,
+            RuntimeConfig {
+                plan_ahead: 2,
+                workers: 2,
+                distribution: PlanDistribution::StoreBacked,
+            },
+        );
+        serial.behavior_eq(&pipelined).unwrap();
+        assert_eq!(stats.serialize_us.len(), 3);
+        assert_eq!(stats.deserialize_us.len(), 3);
+        assert!(stats.serde_overhead_us() > 0.0, "the wire hop is not free");
+        let store = stats.store.expect("store-backed runs snapshot the store");
+        assert_eq!(store.occupancy, 0, "no orphaned blobs");
+        assert_eq!(store.bytes, 0);
+        assert_eq!(store.pushes, 3);
+        assert_eq!(store.takes, 3);
+        assert!(
+            store.peak_occupancy <= 2,
+            "window slots bound store occupancy: {} > 2",
+            store.peak_occupancy
+        );
+    }
+
+    #[test]
+    fn store_backed_worker_panic_poisons_store_and_propagates() {
+        struct PanickingPlanner(Arc<CostModel>);
+        impl IterationPlanner for PanickingPlanner {
+            fn plan(&self, _: &[Sample]) -> Result<IterationPlan, PlanError> {
+                panic!("injected planner panic");
+            }
+            fn cost_model(&self) -> &CostModel {
+                &self.0
+            }
+            fn label(&self) -> String {
+                "panicking".to_string()
+            }
+        }
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let planner = PanickingPlanner(cost_model(2, 1));
+            let dataset = Dataset::flanv2(37, 200);
+            let run = RunConfig {
+                max_iterations: Some(3),
+                ..Default::default()
+            };
+            let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_training_pipelined(
+                    &planner,
+                    &dataset,
+                    gbs(),
+                    run,
+                    RuntimeConfig {
+                        distribution: PlanDistribution::StoreBacked,
+                        ..Default::default()
+                    },
+                )
+            }))
+            .is_err();
+            let _ = tx.send(panicked);
+        });
+        let panicked = rx
+            .recv_timeout(std::time::Duration::from_secs(60))
+            .expect("store-backed run must terminate, not deadlock");
+        assert!(panicked, "worker panic must propagate to the caller");
     }
 }

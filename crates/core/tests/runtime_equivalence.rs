@@ -1,12 +1,21 @@
-//! The pipelined plan-ahead runtime must be bit-identical to the serial
+//! The differential harness pinning the plan-ahead runtime to the serial
 //! driver: same records, same totals, same failure at the same iteration
 //! — the overlap is allowed to change wall-clock and architecture, never
 //! behavior. `RunReport::behavior_eq` compares every field exactly
 //! (floats by bit pattern) except the wall-clock `planning_time_us`.
+//!
+//! Every scenario runs the full distribution matrix: the serial golden
+//! reference, the in-process pipelined runtime, and the **store-backed**
+//! runtime, whose plans cross the instruction store as serialized wire
+//! blobs. The store-backed report must be bit-identical to *both* others
+//! — the serialization roundtrip (float formatting, enum encoding, map
+//! ordering) is exactly where silent divergence would sneak in, which is
+//! why this harness fronts the store-backed runtime.
 
 use dynapipe_core::{
     run_training, run_training_pipelined, BaselineKind, BaselinePlanner, DynaPipePlanner,
-    PlannerConfig, RunConfig, RuntimeConfig,
+    IterationPlanner, PlanDistribution, PlannerConfig, RunConfig, RunReport, RuntimeConfig,
+    RuntimeStats,
 };
 use dynapipe_cost::{CostModel, ProfileOptions};
 use dynapipe_data::{Dataset, GlobalBatchConfig, Sample};
@@ -30,11 +39,77 @@ fn gbs() -> GlobalBatchConfig {
     }
 }
 
+/// Run both pipelined modes against the serial reference and pin the
+/// whole matrix: in-process == serial, store-backed == serial, and
+/// store-backed == in-process (transitively implied, asserted anyway so
+/// a failure names the closest pair). Returns the two stats for
+/// scenario-specific assertions.
+fn assert_distribution_matrix(
+    planner: &dyn IterationPlanner,
+    dataset: &Dataset,
+    gbs: GlobalBatchConfig,
+    run: RunConfig,
+    plan_ahead: usize,
+    workers: usize,
+    serial: &RunReport,
+) -> (RuntimeStats, RuntimeStats) {
+    let (in_process, ip_stats) = run_training_pipelined(
+        planner,
+        dataset,
+        gbs,
+        run,
+        RuntimeConfig {
+            plan_ahead,
+            workers,
+            distribution: PlanDistribution::InProcess,
+        },
+    );
+    serial
+        .behavior_eq(&in_process)
+        .unwrap_or_else(|e| panic!("in-process vs serial (w={plan_ahead},{workers}): {e}"));
+    let (store_backed, sb_stats) = run_training_pipelined(
+        planner,
+        dataset,
+        gbs,
+        run,
+        RuntimeConfig {
+            plan_ahead,
+            workers,
+            distribution: PlanDistribution::StoreBacked,
+        },
+    );
+    serial
+        .behavior_eq(&store_backed)
+        .unwrap_or_else(|e| panic!("store-backed vs serial (w={plan_ahead},{workers}): {e}"));
+    in_process
+        .behavior_eq(&store_backed)
+        .unwrap_or_else(|e| panic!("store-backed vs in-process (w={plan_ahead},{workers}): {e}"));
+    // Store invariants that hold in every scenario: teardown leaves no
+    // orphaned blobs, and the plan-ahead window bounds store occupancy.
+    let store = sb_stats
+        .store
+        .as_ref()
+        .expect("store-backed runs snapshot the store");
+    assert_eq!(store.occupancy, 0, "orphaned blobs after teardown");
+    assert_eq!(store.bytes, 0, "leaked bytes after teardown");
+    assert!(
+        store.peak_occupancy <= plan_ahead,
+        "store occupancy {} exceeded the plan-ahead window {plan_ahead}",
+        store.peak_occupancy
+    );
+    assert!(
+        store.per_shard.iter().all(|s| s.occupancy == 0 && s.bytes == 0),
+        "per-shard counters must reconcile to zero"
+    );
+    (ip_stats, sb_stats)
+}
+
 #[test]
 fn jittered_runs_are_bit_identical_across_window_and_worker_shapes() {
-    // Jitter seeds are keyed by (iteration_index, replica), so the
-    // pipelined runtime must reproduce jittered measurements exactly no
-    // matter how planning is scheduled across workers and windows.
+    // Jitter seeds are keyed by (iteration_index, replica), so both
+    // pipelined modes must reproduce jittered measurements exactly no
+    // matter how planning is scheduled across workers and windows — and
+    // no matter that the store-backed plans were rebuilt from JSON.
     let planner = DynaPipePlanner::new(cost_model(2, 1), PlannerConfig::default());
     let dataset = Dataset::flanv2(101, 500);
     let run = RunConfig {
@@ -48,24 +123,20 @@ fn jittered_runs_are_bit_identical_across_window_and_worker_shapes() {
     let serial = run_training(&planner, &dataset, gbs(), run);
     assert!(serial.feasible(), "fixture must run clean: {:?}", serial.failure);
     for (plan_ahead, workers) in [(1, 1), (2, 3), (6, 2)] {
-        let (pipelined, stats) = run_training_pipelined(
-            &planner,
-            &dataset,
-            gbs(),
-            run,
-            RuntimeConfig {
-                plan_ahead,
-                workers,
-            },
+        let (ip_stats, sb_stats) = assert_distribution_matrix(
+            &planner, &dataset, gbs(), run, plan_ahead, workers, &serial,
         );
-        serial
-            .behavior_eq(&pipelined)
-            .unwrap_or_else(|e| panic!("plan_ahead={plan_ahead} workers={workers}: {e}"));
-        assert!(
-            stats.max_plans_resident <= plan_ahead,
-            "plan-ahead window exceeded: {} > {plan_ahead}",
-            stats.max_plans_resident
-        );
+        for stats in [&ip_stats, &sb_stats] {
+            assert!(
+                stats.max_plans_resident <= plan_ahead,
+                "plan-ahead window exceeded: {} > {plan_ahead}",
+                stats.max_plans_resident
+            );
+        }
+        // The wire hop is real work and is accounted per iteration.
+        assert_eq!(sb_stats.serialize_us.len(), 4);
+        assert_eq!(sb_stats.deserialize_us.len(), 4);
+        assert!(sb_stats.blob_bytes.iter().all(|&b| b > 0));
     }
 }
 
@@ -84,17 +155,7 @@ fn jitter_free_data_parallel_runs_match() {
     };
     let serial = run_training(&planner, &dataset, gbs, run);
     assert!(serial.feasible(), "{:?}", serial.failure);
-    let (pipelined, _) = run_training_pipelined(
-        &planner,
-        &dataset,
-        gbs,
-        run,
-        RuntimeConfig {
-            plan_ahead: 3,
-            workers: 2,
-        },
-    );
-    serial.behavior_eq(&pipelined).unwrap();
+    assert_distribution_matrix(&planner, &dataset, gbs, run, 3, 2, &serial);
 }
 
 #[test]
@@ -113,18 +174,28 @@ fn baseline_planners_run_pipelined_too() {
         ..Default::default()
     };
     let serial = run_training(&planner, &dataset, gbs(), run);
-    let (pipelined, _) =
-        run_training_pipelined(&planner, &dataset, gbs(), run, RuntimeConfig::default());
-    serial.behavior_eq(&pipelined).unwrap();
+    let defaults = RuntimeConfig::default();
+    assert_distribution_matrix(
+        &planner,
+        &dataset,
+        gbs(),
+        run,
+        defaults.plan_ahead,
+        defaults.workers,
+        &serial,
+    );
 }
 
 #[test]
-fn failure_mid_epoch_stops_both_runtimes_at_the_same_iteration() {
+fn failure_mid_epoch_stops_all_runtimes_at_the_same_iteration() {
     // A 2M-token monster sample lands alone in a mini-batch a few
     // iterations in: no recompute mode can fit it, so planning fails
-    // mid-epoch. The pipelined runtime has speculatively planned further
-    // iterations by then — it must discard them and stop with exactly the
-    // serial driver's failure, records and totals.
+    // mid-epoch. Both pipelined runtimes have speculatively planned
+    // further iterations by then — they must discard them and stop with
+    // exactly the serial driver's failure, records and totals. In
+    // store-backed mode the failure itself crosses the store as a wire
+    // blob, and the speculative blobs past it must be swept out: the
+    // store ends empty, with the discards accounted.
     let planner = DynaPipePlanner::new(cost_model(2, 1), PlannerConfig::default());
     let mut dataset = Dataset::flanv2(109, 400);
     dataset.samples[130] = Sample {
@@ -162,20 +233,22 @@ fn failure_mid_epoch_stops_both_runtimes_at_the_same_iteration() {
         serial.failure
     );
     for (plan_ahead, workers) in [(1, 1), (4, 2)] {
-        let (pipelined, stats) = run_training_pipelined(
-            &planner,
-            &dataset,
-            gbs,
-            run,
-            RuntimeConfig {
-                plan_ahead,
-                workers,
-            },
+        let (ip_stats, sb_stats) = assert_distribution_matrix(
+            &planner, &dataset, gbs, run, plan_ahead, workers, &serial,
         );
-        serial
-            .behavior_eq(&pipelined)
-            .unwrap_or_else(|e| panic!("plan_ahead={plan_ahead} workers={workers}: {e}"));
         // Speculative plans beyond the failure never become records.
-        assert_eq!(stats.planning_us.len(), failed_at);
+        assert_eq!(ip_stats.planning_us.len(), failed_at);
+        assert_eq!(sb_stats.planning_us.len(), failed_at);
+        // No orphaned blobs (asserted in the matrix helper), and with a
+        // window > 1 the speculative blobs past the failure really
+        // existed and were discarded rather than leaked.
+        let store = sb_stats.store.as_ref().unwrap();
+        assert_eq!(store.occupancy, 0);
+        if plan_ahead > 1 {
+            assert!(
+                store.discarded > 0,
+                "a wide window must have parked speculative blobs to discard"
+            );
+        }
     }
 }

@@ -140,6 +140,48 @@ impl SimResult {
         let total: Micros = self.busy_time.iter().sum();
         total / (self.makespan * self.busy_time.len() as f64)
     }
+
+    /// Bitwise behavioral equality with `other`: makespan, per-device
+    /// peaks, busy times and allocator statistics must match exactly
+    /// (floats compared by bit pattern). `host_wall_us` and the trace
+    /// are excluded — they measure the simulating host, not the
+    /// simulated behavior. This is the contract a deserialized device
+    /// program must meet against the shared-`Arc` original: engines over
+    /// owned wire-decoded programs may not differ in any simulated bit.
+    /// Returns a description of the first divergence.
+    pub fn bit_eq(&self, other: &SimResult) -> Result<(), String> {
+        fn f64_eq(name: &str, a: f64, b: f64) -> Result<(), String> {
+            if a.to_bits() != b.to_bits() {
+                return Err(format!("{name}: {a} vs {b}"));
+            }
+            Ok(())
+        }
+        f64_eq("makespan", self.makespan, other.makespan)?;
+        if self.peak_memory != other.peak_memory {
+            return Err("peak_memory diverged".to_string());
+        }
+        if self.busy_time.len() != other.busy_time.len() {
+            return Err("device count diverged".to_string());
+        }
+        for (d, (a, b)) in self.busy_time.iter().zip(&other.busy_time).enumerate() {
+            f64_eq(&format!("busy_time[{d}]"), *a, *b)?;
+        }
+        if self.allocator_stats.len() != other.allocator_stats.len() {
+            return Err("allocator stats count diverged".to_string());
+        }
+        for (d, (a, b)) in self
+            .allocator_stats
+            .iter()
+            .zip(&other.allocator_stats)
+            .enumerate()
+        {
+            if (a.hits, a.misses, a.defrags) != (b.hits, b.misses, b.defrags) {
+                return Err(format!("allocator_stats[{d}] counters diverged"));
+            }
+            f64_eq(&format!("allocator_stats[{d}].stall_us"), a.stall_us, b.stall_us)?;
+        }
+        Ok(())
+    }
 }
 
 #[derive(Debug)]
