@@ -15,7 +15,11 @@
 //!   [`PlanDistribution::StoreBacked`] — plans cross the instruction
 //!   store as serialized wire blobs (the paper's Fig. 9 Redis
 //!   architecture), so this arm additionally pays and reports
-//!   serialize/deserialize overhead.
+//!   serialize/deserialize overhead. The store arm runs **twice**, once
+//!   per wire codec ([`PlanCodec::Json`] and the length-prefixed
+//!   [`PlanCodec::Binary`]), reporting per-codec blob bytes and
+//!   serialize/deserialize time — and the bench exits nonzero if the
+//!   binary codec's blobs ever exceed JSON's.
 //!
 //! Wall-clock is measured on the **training timeline** (simulated GPU
 //! execution + real host planning), the same planning-vs-iteration
@@ -39,8 +43,8 @@
 
 use dynapipe_bench::{write_json, write_root_artifact, BenchOpts, Point};
 use dynapipe_core::{
-    run_training, run_training_pipelined, DynaPipePlanner, PlanDistribution, PlannerConfig,
-    RunConfig, RuntimeConfig,
+    run_training, run_training_pipelined, DynaPipePlanner, PlanCodec, PlanDistribution,
+    PlannerConfig, RunConfig, RuntimeConfig,
 };
 use dynapipe_cost::{CostModel, ProfileOptions};
 use dynapipe_data::{Dataset, GlobalBatchConfig};
@@ -72,6 +76,7 @@ struct ModelOutcome {
     serial_host_us: f64,
     in_process: ArmOutcome,
     store_backed: ArmOutcome,
+    store_binary: ArmOutcome,
 }
 
 fn run_model(
@@ -116,7 +121,7 @@ fn run_model(
         .map(|r| r.planning_time_us + r.measured_time)
         .sum();
 
-    let arm = |distribution: PlanDistribution| -> (ArmOutcome, usize) {
+    let arm = |distribution: PlanDistribution, codec: PlanCodec| -> (ArmOutcome, usize) {
         let t1 = Instant::now();
         let (pipelined, stats) = run_training_pipelined(
             &planner,
@@ -125,6 +130,7 @@ fn run_model(
             run,
             RuntimeConfig {
                 distribution,
+                codec,
                 ..runtime
             },
         );
@@ -147,8 +153,9 @@ fn run_model(
             pipelined.records.len(),
         )
     };
-    let (in_process, iterations) = arm(PlanDistribution::InProcess);
-    let (store_backed, _) = arm(PlanDistribution::StoreBacked);
+    let (in_process, iterations) = arm(PlanDistribution::InProcess, PlanCodec::Json);
+    let (store_backed, _) = arm(PlanDistribution::StoreBacked, PlanCodec::Json);
+    let (store_binary, _) = arm(PlanDistribution::StoreBacked, PlanCodec::Binary);
     ModelOutcome {
         name,
         iterations,
@@ -156,6 +163,7 @@ fn run_model(
         serial_host_us,
         in_process,
         store_backed,
+        store_binary,
     }
 }
 
@@ -197,7 +205,11 @@ fn main() {
         ("T5", ModelConfig::t5_11b(), ParallelConfig::new(1, 4, 2)),
     ] {
         let o = run_model(name, model, parallel, &dataset, iters, runtime);
-        for (arm_name, a) in [("arc", &o.in_process), ("store", &o.store_backed)] {
+        for (arm_name, a) in [
+            ("arc", &o.in_process),
+            ("store", &o.store_backed),
+            ("st-bin", &o.store_binary),
+        ] {
             println!(
                 "{:>5} {:>6} | {:>12.1} {:>12.1} | {:>10.1} {:>10.1} {:>7.1}% | {:>10.2}",
                 o.name,
@@ -241,6 +253,12 @@ fn main() {
         .iter()
         .map(|o| o.store_backed.serialize_us + o.store_backed.deserialize_us)
         .sum();
+    let json_blob_bytes: u64 = outcomes.iter().map(|o| o.store_backed.blob_bytes).sum();
+    let binary_blob_bytes: u64 = outcomes.iter().map(|o| o.store_binary.blob_bytes).sum();
+    let binary_serde_us: f64 = outcomes
+        .iter()
+        .map(|o| o.store_binary.serialize_us + o.store_binary.deserialize_us)
+        .sum();
     println!(
         "\n  total: serial {:.1} ms vs pipelined {:.1} ms (in-process, {:.1}% hidden) \
          vs {:.1} ms (store-backed, {:.1}% hidden, {:.2} ms serde)",
@@ -249,6 +267,14 @@ fn main() {
         overlap_ratio * 100.0,
         store_wall_us / 1e3,
         store_overlap_ratio * 100.0,
+        store_serde_us / 1e3,
+    );
+    println!(
+        "  wire codec: binary {:.1} KB vs JSON {:.1} KB ({:.1}%), serde {:.2} ms vs {:.2} ms",
+        binary_blob_bytes as f64 / 1e3,
+        json_blob_bytes as f64 / 1e3,
+        100.0 * binary_blob_bytes as f64 / (json_blob_bytes as f64).max(1.0),
+        binary_serde_us / 1e3,
         store_serde_us / 1e3,
     );
 
@@ -264,6 +290,7 @@ fn main() {
                         "serial_host_us": o.serial_host_us,
                         "in_process": arm_json(&o.in_process),
                         "store": arm_json(&o.store_backed),
+                        "store_binary": arm_json(&o.store_binary),
                     }),
                 )
             })
@@ -296,6 +323,18 @@ fn main() {
             "store_serde_us".to_string(),
             serde_json::json!(store_serde_us),
         ),
+        (
+            "json_blob_bytes".to_string(),
+            serde_json::json!(json_blob_bytes),
+        ),
+        (
+            "binary_blob_bytes".to_string(),
+            serde_json::json!(binary_blob_bytes),
+        ),
+        (
+            "binary_serde_us".to_string(),
+            serde_json::json!(binary_serde_us),
+        ),
         ("iterations".to_string(), serde_json::json!(iters)),
         (
             "plan_ahead".to_string(),
@@ -318,7 +357,11 @@ fn main() {
     // where serialization bit-rot would surface.
     let mut failed = false;
     for o in &outcomes {
-        for (arm_name, a) in [("in-process", &o.in_process), ("store-backed", &o.store_backed)] {
+        for (arm_name, a) in [
+            ("in-process", &o.in_process),
+            ("store-backed", &o.store_backed),
+            ("store-binary", &o.store_binary),
+        ] {
             if let Some(d) = &a.divergence {
                 eprintln!(
                     "error: {} {arm_name} report diverged from serial: {d}",
@@ -328,7 +371,15 @@ fn main() {
             }
         }
     }
-    for (arm_name, wall) in [("in-process", pipelined_wall_us), ("store-backed", store_wall_us)] {
+    let store_binary_wall_us: f64 = outcomes
+        .iter()
+        .map(|o| o.store_binary.pipelined_wall_us)
+        .sum();
+    for (arm_name, wall) in [
+        ("in-process", pipelined_wall_us),
+        ("store-backed", store_wall_us),
+        ("store-binary", store_binary_wall_us),
+    ] {
         if wall >= serial_wall_us {
             eprintln!(
                 "error: {arm_name} pipelined wall {wall} µs did not beat serial \
@@ -336,6 +387,14 @@ fn main() {
             );
             failed = true;
         }
+    }
+    // The binary codec's whole purpose is smaller blobs; bytes are
+    // deterministic, so this gate holds in smoke runs too.
+    if binary_blob_bytes > json_blob_bytes {
+        eprintln!(
+            "error: binary wire ({binary_blob_bytes} B) exceeds JSON ({json_blob_bytes} B)"
+        );
+        failed = true;
     }
     if failed {
         std::process::exit(1);

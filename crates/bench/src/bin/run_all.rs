@@ -32,6 +32,7 @@ const FIGURES: &[&str] = &[
     "fig14_gbs_scaling",
     "fig15_padding_efficiency",
     "fig16_ablation",
+    "fig09_cluster",
     "fig17_planning_time",
     "fig17_planahead",
     "fig18_cost_model_accuracy",

@@ -1,0 +1,48 @@
+//! `dynapipe-cluster`: the paper's Fig. 9 deployment on a **simulated
+//! multi-host topology**.
+//!
+//! The PR 3/4 runtime already decouples the planner pool from the
+//! executor through the instruction store, but everything runs on one
+//! implicit host: pushing a 300 KB plan blob costs exactly as much as
+//! sharing a pointer would, and there is no notion of *where* a planner
+//! or a data-parallel replica lives. This crate deploys the same runtime
+//! across an explicit topology:
+//!
+//! ```text
+//!   planner host 0 ─┐                      ┌─► executor host 0 (replicas 0, M, …)
+//!   planner host 1 ─┼─► instruction store ─┼─► executor host 1 (replicas 1, M+1, …)
+//!        …          │   (on executor 0)    │        …
+//!   planner host N ─┘                      └─► executor host M-1
+//! ```
+//!
+//! * [`ClusterConfig`] places `planner_hosts × workers_per_host` planner
+//!   workers and `executor_hosts` executor hosts (data-parallel replicas
+//!   assigned round-robin), with a bounded plan-ahead window shared by
+//!   the whole pool;
+//! * every [`dynapipe_core::StoredPlan`] blob crosses **modeled network
+//!   links** ([`dynapipe_sim::link`]: α-β latency + bandwidth with FIFO
+//!   occupancy) — one uplink connection per planner *worker* into the
+//!   store (a worker's push stream is time-ordered, so the FIFO replay
+//!   is exact) and one downlink per executor host out of it — so blob
+//!   *bytes* now have a *time* cost on the training timeline, and the
+//!   wire codec ([`dynapipe_core::PlanCodec`]) becomes a measurable
+//!   design choice;
+//! * per-host counters roll up into a [`ClusterReport`]: plans produced
+//!   and bytes pushed per planner host, bytes fetched / wire time /
+//!   exposed-vs-hidden planning per executor host, and store counters.
+//!
+//! **The golden invariant carries over unchanged:** whatever the
+//! topology, codec, or link speed, the produced
+//! [`dynapipe_core::RunReport`] is bit-identical to the serial driver's
+//! (`RunReport::behavior_eq`) — the wire can only move time around,
+//! never change what was trained. `tests/cluster_equivalence.rs`
+//! enforces this across the scenario matrix and the `fig09_cluster`
+//! bench exits nonzero on any divergence.
+
+pub mod report;
+pub mod runtime;
+pub mod topology;
+
+pub use report::{ClusterReport, ExecutorHostStats, PlannerHostStats};
+pub use runtime::run_training_cluster;
+pub use topology::ClusterConfig;

@@ -1,0 +1,116 @@
+//! Per-host rollups of a cluster run — the data behind
+//! `BENCH_cluster.json`.
+
+use dynapipe_core::StoreStats;
+use serde::Serialize;
+
+/// What one planner host contributed.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct PlannerHostStats {
+    /// Host index in the planner pool.
+    pub host: usize,
+    /// Planner workers on this host.
+    pub workers: usize,
+    /// Iterations this host planned (claimed and completed).
+    pub plans_produced: usize,
+    /// Σ planning time on this host (µs, real).
+    pub plan_us: f64,
+    /// Σ lowering time on this host (µs, real).
+    pub lower_us: f64,
+    /// Σ encode + store-push time on this host (µs, real).
+    pub serialize_us: f64,
+    /// Wire bytes this host pushed into the store.
+    pub bytes_pushed: u64,
+    /// Simulated wire time of this host's pushes, including FIFO
+    /// queueing on its uplink (µs).
+    pub push_wire_us: f64,
+}
+
+/// What one executor host saw.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ExecutorHostStats {
+    /// Host index among the executors.
+    pub host: usize,
+    /// Data-parallel replicas assigned to this host (round-robin).
+    pub replicas: Vec<usize>,
+    /// Wire bytes this host fetched from the store (zero for the host
+    /// colocated with the store).
+    pub bytes_fetched: u64,
+    /// Simulated wire time of this host's fetches, including FIFO
+    /// queueing on its downlink (µs).
+    pub fetch_wire_us: f64,
+    /// Σ blob decode time on this host (µs, real; each host decodes its
+    /// own copy).
+    pub decode_us: f64,
+    /// Σ plan-distribution latency this host had to wait out on the
+    /// training timeline (µs): its plan was not yet decoded when the
+    /// previous iteration's gradient sync finished.
+    pub exposed_us: f64,
+    /// Σ distribution-pipeline cost hidden behind execution on this
+    /// host's timeline (µs).
+    pub hidden_us: f64,
+    /// hidden / (hidden + exposed-able cost), in [0, 1].
+    pub overlap_ratio: f64,
+    /// Σ simulated compute occupancy: this host's worst replica makespan
+    /// per iteration (µs).
+    pub busy_us: f64,
+}
+
+/// The rollup of one cluster run. The paired
+/// [`dynapipe_core::RunReport`] carries the training behavior (and must
+/// be bit-identical to the serial driver's); this report carries where
+/// the time and the bytes went.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ClusterReport {
+    /// Topology label, e.g. `"2p×1w→2e"`.
+    pub topology: String,
+    /// Wire codec label (`"json"` / `"binary"`).
+    pub codec: String,
+    /// Plan-ahead window used.
+    pub plan_ahead: usize,
+    /// Iterations actually executed.
+    pub iterations: usize,
+    /// Per-planner-host breakdown.
+    pub planner_hosts: Vec<PlannerHostStats>,
+    /// Per-executor-host breakdown.
+    pub executor_hosts: Vec<ExecutorHostStats>,
+    /// End of the cluster training timeline (µs): simulated execution
+    /// plus whatever distribution latency could not be hidden.
+    pub cluster_wall_us: f64,
+    /// The serial driver's timeline for the same work (µs): every
+    /// microsecond of planning, encode and decode exposed, no wire.
+    pub serial_wall_us: f64,
+    /// Σ simulated iteration time (µs).
+    pub exec_sim_us: f64,
+    /// Σ host-side pipeline cost: planning + lowering + serialize +
+    /// decode (µs, real).
+    pub total_planning_us: f64,
+    /// Σ simulated wire time across all hops (µs).
+    pub total_wire_us: f64,
+    /// Σ cluster-level exposed distribution latency (µs): how much later
+    /// each iteration's gradient sync finished than it would have with
+    /// all plans instantly available.
+    pub exposed_us: f64,
+    /// Fraction of (pipeline cost + wire) hidden behind execution.
+    pub overlap_ratio: f64,
+    /// Total wire bytes (pushes + fetches).
+    pub wire_bytes: u64,
+    /// Bytes of one mean plan blob on this codec.
+    pub mean_blob_bytes: f64,
+    /// Σ blob decode time, one decode per fetching host (µs, real).
+    pub decode_us: f64,
+    /// Σ encode + push time (µs, real).
+    pub serialize_us: f64,
+    /// Real host wall-clock of the whole run (µs).
+    pub host_wall_us: f64,
+    /// Final instruction-store counters (post-teardown: occupancy and
+    /// bytes must be zero, peak ≤ window).
+    pub store: StoreStats,
+}
+
+impl ClusterReport {
+    /// Hidden distribution time (µs): everything the timeline absorbed.
+    pub fn hidden_us(&self) -> f64 {
+        (self.total_planning_us + self.total_wire_us - self.exposed_us).max(0.0)
+    }
+}

@@ -1,0 +1,430 @@
+//! The cluster runtime: the plan-ahead pipeline of
+//! [`dynapipe_core::runtime`] deployed across an explicit multi-host
+//! topology, with every plan blob paying its way over modeled links.
+//!
+//! # Architecture
+//!
+//! * **Planner hosts** — `planner_hosts × workers_per_host` worker
+//!   threads claim iteration tickets from the shared bounded
+//!   [`PlanAheadQueue`] (ticket order == stream order), plan, lower to
+//!   *owned* programs, encode with the configured
+//!   [`dynapipe_core::PlanCodec`] and push the blob into the
+//!   [`InstructionStore`] — exactly the store-backed worker of the core
+//!   runtime, annotated with which host produced the plan.
+//! * **The store** lives on executor host 0 (the paper's Redis
+//!   placement). A planner worker's push crosses its **uplink
+//!   connection** (one per worker, so the FIFO replay matches the
+//!   worker's real push order); an executor host's fetch crosses its
+//!   **downlink**; host 0 fetches through local host memory. Links are
+//!   α-β with FIFO occupancy ([`dynapipe_sim::Link`]), so bursts of
+//!   blobs queue instead of teleporting.
+//! * **Executor hosts** — each data-parallel replica runs on host
+//!   `r % executor_hosts`. The replica engines are the same
+//!   [`execute_lowered`] fold as the serial driver (worst makespan,
+//!   per-stage max peaks, stalls summed in replica order), so the
+//!   [`RunReport`] is bit-identical by construction; the per-replica
+//!   makespans are additionally grouped per host to build each host's
+//!   timeline.
+//!
+//! # Timeline semantics
+//!
+//! Host-side costs (planning, lowering, encode, decode) are **real**
+//! measured durations; wire costs are **simulated** from blob bytes and
+//! the configured link — the same hybrid as the core runtime's overlap
+//! accounting, extended with the wire hop. For iteration `i`:
+//!
+//! ```text
+//! at_store    = uplink[w].transmit(pushed_at, bytes)        (w = planner worker)
+//! avail_h     = downlink[h].transmit(at_store, bytes) + decode_us
+//! exposed_h   = max(0, avail_h − sync_end(i−1))
+//! start_h     = max(sync_end(i−1), avail_h)
+//! sync_end(i) = max_h(start_h + span_h) + dp_sync
+//! ```
+//!
+//! where `span_h` is host `h`'s worst replica makespan. With every plan
+//! available in time, `sync_end(i) − sync_end(i−1)` degenerates to
+//! exactly the serial iteration time, so the cluster wall can only
+//! exceed the ideal by genuinely exposed distribution latency — which is
+//! what [`ClusterReport`] itemizes per host.
+
+use crate::report::{ClusterReport, ExecutorHostStats, PlannerHostStats};
+use crate::topology::ClusterConfig;
+use dynapipe_core::driver::{record_iteration, IterationPlanner, RunConfig, RunReport};
+use dynapipe_core::planner::{IterationPlan, PlanError};
+use dynapipe_core::runtime::{
+    execute_lowered, plan_lower_push, PlanAheadQueue, ReplicaParallelism, TicketGuard,
+    WaitOutcome,
+};
+use dynapipe_core::store::{InstructionStore, StoredLowered, StoredOutcome, StoredPlan};
+use dynapipe_batcher::PaddingStats;
+use dynapipe_data::{BatchStream, Dataset, GlobalBatchConfig};
+use dynapipe_sim::{DeviceProgram, Link, LinkModel};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Crashed-counterpart bound for store waits (mirrors the core runtime):
+/// reaching it means a dead peer, not backpressure.
+const STORE_WAIT: Duration = Duration::from_secs(60);
+
+/// What a planner worker reports through the queue once its blob is in
+/// the store: the distribution accounting, annotated with the producing
+/// worker — the payload itself travels only through the store.
+struct ClusterPlanned {
+    /// Global worker index (maps to a planner host and to that worker's
+    /// uplink connection).
+    worker: usize,
+    plan_us: f64,
+    lower_us: f64,
+    serialize_us: f64,
+    blob_bytes: usize,
+    /// Real µs since run start when the push completed.
+    pushed_at_us: f64,
+}
+
+/// What the prefetcher hands the executor per iteration.
+struct ClaimedCluster {
+    meta: ClusterPlanned,
+    outcome: Result<(IterationPlan, Vec<Arc<Vec<DeviceProgram>>>), PlanError>,
+    /// Real µs one host spends decoding its copy of the blob.
+    decode_us: f64,
+}
+
+enum Prefetched {
+    Iteration(Box<ClaimedCluster>),
+    EndOfEpoch,
+    /// The store lost a blob the queue promised (crashed counterpart /
+    /// corrupt wire blob).
+    Lost(String),
+}
+
+/// Run (a prefix of) one training epoch on the simulated multi-host
+/// cluster.
+///
+/// The returned [`RunReport`] is bit-identical to
+/// [`dynapipe_core::run_training`] with the same arguments — any
+/// topology, codec or link speed (`RunReport::behavior_eq`; pinned by
+/// `tests/cluster_equivalence.rs`). The [`ClusterReport`] carries the
+/// per-host and wire accounting.
+pub fn run_training_cluster(
+    planner: &dyn IterationPlanner,
+    dataset: &Dataset,
+    gbs: GlobalBatchConfig,
+    run: RunConfig,
+    cluster: ClusterConfig,
+) -> (RunReport, ClusterReport) {
+    let cm = planner.cost_model();
+    let cluster = cluster.normalized(cm.parallel.dp);
+    let cap = run.max_iterations.unwrap_or(usize::MAX);
+    let stream = BatchStream::new(dataset, gbs);
+    let queue: PlanAheadQueue<ClusterPlanned> = PlanAheadQueue::new(cluster.plan_ahead, cap);
+    // Window slots count store occupancy (ticket held from push to take),
+    // so the capacity is a hard backstop, not an active gate.
+    let store = InstructionStore::with_capacity(cluster.plan_ahead);
+    let t0 = Instant::now();
+
+    let mut report = RunReport {
+        planner: planner.label(),
+        records: Vec::new(),
+        total_tokens: 0,
+        total_time_us: 0.0,
+        padding: PaddingStats::default(),
+        failure: None,
+    };
+    let mut out = ClusterReport {
+        topology: cluster.label(),
+        codec: cluster.codec.label().to_string(),
+        plan_ahead: cluster.plan_ahead,
+        planner_hosts: (0..cluster.planner_hosts)
+            .map(|h| PlannerHostStats {
+                host: h,
+                workers: cluster.workers_per_host,
+                ..Default::default()
+            })
+            .collect(),
+        executor_hosts: (0..cluster.executor_hosts)
+            .map(|h| ExecutorHostStats {
+                host: h,
+                ..Default::default()
+            })
+            .collect(),
+        ..Default::default()
+    };
+
+    // One uplink *connection* per planner worker into the store (a
+    // worker's pushes are ordered in time, so the FIFO math replays
+    // exactly; a per-host shared link would be replayed in iteration
+    // order, which races push order across workers and would charge
+    // phantom queueing), one downlink per executor host out of it;
+    // host 0 is colocated with the store. Downlinks are legitimately
+    // FIFO in iteration order: the executor demands blobs in order, so
+    // fetch i+1 cannot start before fetch i finishes on that host's
+    // link.
+    let mut uplinks: Vec<Link> = (0..cluster.total_workers())
+        .map(|_| Link::new(cluster.link))
+        .collect();
+    let mut downlinks: Vec<Link> = (0..cluster.executor_hosts)
+        .map(|h| {
+            Link::new(if h == 0 {
+                LinkModel::local()
+            } else {
+                cluster.link
+            })
+        })
+        .collect();
+
+    let total_workers = cluster.total_workers();
+    let nested_threads = (rayon::current_num_threads() / total_workers).max(1);
+
+    std::thread::scope(|scope| {
+        for w in 0..total_workers {
+            let queue = &queue;
+            let stream = &stream;
+            let store = &store;
+            scope.spawn(move || {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(nested_threads)
+                    .build()
+                    .expect("planner worker pool");
+                pool.install(|| {
+                    while let Some((index, batch)) = queue.claim(stream) {
+                        let guard = TicketGuard::new(queue, Some(store));
+                        // Shared with the core runtime's store-backed
+                        // worker: plan, lower owned, encode, push.
+                        let push =
+                            plan_lower_push(planner, store, cluster.codec, index, &batch);
+                        queue.complete(
+                            index,
+                            ClusterPlanned {
+                                worker: w,
+                                plan_us: push.plan_us,
+                                lower_us: push.lower_us,
+                                serialize_us: push.serialize_us,
+                                blob_bytes: push.blob_bytes,
+                                pushed_at_us: t0.elapsed().as_secs_f64() * 1e6,
+                            },
+                        );
+                        guard.disarm();
+                    }
+                });
+            });
+        }
+
+        // Executor-side prefetcher: take each blob in order, decode it
+        // ahead of execution (one decode stands in for the per-host
+        // decodes, which would run in parallel on identical bytes), and
+        // hand the executable plan over a bounded channel.
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Prefetched>(1);
+        {
+            let queue = &queue;
+            let store = &store;
+            scope.spawn(move || {
+                for it in 0..cap {
+                    let meta = match queue.wait_for(it) {
+                        WaitOutcome::Cancelled => return,
+                        WaitOutcome::EndOfEpoch => {
+                            let _ = tx.send(Prefetched::EndOfEpoch);
+                            return;
+                        }
+                        WaitOutcome::Planned(p) => p,
+                    };
+                    // Time the *decode* alone: the wait-for-arrival and
+                    // the store take model the fetch, which the timeline
+                    // already charges as downlink wire time.
+                    let taken = store.take_blocking(it, STORE_WAIT);
+                    queue.advance(it); // blob out of the store: slot free
+                    let t_decode = Instant::now();
+                    let decoded = taken.map_err(|e| format!("take: {e}")).and_then(|blob| {
+                        StoredPlan::decode(cluster.codec, &blob)
+                            .map_err(|e| format!("decode: {e}"))
+                    });
+                    let decode_us = t_decode.elapsed().as_secs_f64() * 1e6;
+                    let stored = match decoded {
+                        Ok(s) => s,
+                        Err(e) => {
+                            let _ = tx.send(Prefetched::Lost(format!(
+                                "instruction store lost iteration {it}: {e}"
+                            )));
+                            return;
+                        }
+                    };
+                    debug_assert_eq!(stored.iteration, it, "blob is self-describing");
+                    let outcome = match stored.outcome {
+                        StoredOutcome::Plan(StoredLowered { plan, programs }) => {
+                            Ok((plan, programs.into_iter().map(Arc::new).collect()))
+                        }
+                        StoredOutcome::Failed(e) => Err(e),
+                    };
+                    let claimed = ClaimedCluster {
+                        meta,
+                        outcome,
+                        decode_us,
+                    };
+                    if tx.send(Prefetched::Iteration(Box::new(claimed))).is_err() {
+                        return; // executor stopped consuming
+                    }
+                }
+                let _ = tx.send(Prefetched::EndOfEpoch);
+            });
+        }
+
+        // The executor: strictly in order on the caller thread, folding
+        // the per-host timelines as it goes.
+        let mut vclock = 0.0f64;
+        for it in 0..cap {
+            let claimed = match rx.recv() {
+                Ok(Prefetched::EndOfEpoch) => break,
+                Ok(Prefetched::Lost(e)) => {
+                    queue.cancel();
+                    panic!("{e}");
+                }
+                Err(_) => {
+                    // Prefetcher died without a message: a planner worker
+                    // panicked under it; unblock the pool and re-raise.
+                    queue.cancel();
+                    panic!("a planner worker panicked while planning ahead");
+                }
+                Ok(Prefetched::Iteration(c)) => c,
+            };
+            let ClaimedCluster {
+                meta,
+                outcome,
+                decode_us,
+            } = *claimed;
+            let (plan, programs) = match outcome {
+                Ok(x) => x,
+                Err(e) => {
+                    report.failure = Some(format!("iteration {it}: {e}"));
+                    break;
+                }
+            };
+            let exec = match execute_lowered(
+                cm,
+                &plan,
+                &programs,
+                &run,
+                it,
+                ReplicaParallelism::Parallel,
+            ) {
+                Ok(x) => x,
+                Err(e) => {
+                    report.failure = Some(format!("iteration {it}: {e}"));
+                    break;
+                }
+            };
+
+            // --- Wire + per-host timeline ---------------------------------
+            let bytes = meta.blob_bytes as u64;
+            let p = cluster.planner_host_of(meta.worker);
+            let up_before = uplinks[meta.worker].wire_us();
+            let at_store = uplinks[meta.worker].transmit(meta.pushed_at_us, bytes);
+            let ph = &mut out.planner_hosts[p];
+            ph.plans_produced += 1;
+            ph.plan_us += meta.plan_us;
+            ph.lower_us += meta.lower_us;
+            ph.serialize_us += meta.serialize_us;
+            ph.bytes_pushed += bytes;
+            ph.push_wire_us += uplinks[meta.worker].wire_us() - up_before;
+
+            // Hosts with at least one replica this iteration fetch the
+            // blob and run their share.
+            let mut spans = vec![f64::NEG_INFINITY; cluster.executor_hosts];
+            for (r, &makespan) in exec.replica_makespans.iter().enumerate() {
+                let h = cluster.executor_host_of(r);
+                spans[h] = spans[h].max(makespan);
+                if !out.executor_hosts[h].replicas.contains(&r) {
+                    out.executor_hosts[h].replicas.push(r);
+                }
+            }
+            let mut sync_end = f64::NEG_INFINITY;
+            for (h, &span) in spans.iter().enumerate() {
+                if span == f64::NEG_INFINITY {
+                    continue; // no replica landed here this iteration
+                }
+                let down_before = downlinks[h].wire_us();
+                let arrival = downlinks[h].transmit(at_store, bytes);
+                let avail = arrival + decode_us;
+                let eh = &mut out.executor_hosts[h];
+                if h != 0 {
+                    eh.bytes_fetched += bytes;
+                }
+                eh.fetch_wire_us += downlinks[h].wire_us() - down_before;
+                eh.decode_us += decode_us;
+                eh.exposed_us += (avail - vclock).max(0.0);
+                eh.busy_us += span;
+                let start = vclock.max(avail);
+                sync_end = sync_end.max(start + span);
+            }
+            let end = sync_end + plan.dp_sync_time;
+            // How much later the sync finished than it would have with
+            // every plan instantly available.
+            out.exposed_us += (end - vclock - exec.measured_time).max(0.0);
+            vclock = end;
+
+            out.exec_sim_us += exec.measured_time;
+            out.serialize_us += meta.serialize_us;
+            out.decode_us += decode_us * spans.iter().filter(|s| s.is_finite()).count() as f64;
+            out.total_planning_us += meta.plan_us + meta.lower_us;
+            out.iterations += 1;
+
+            record_iteration(
+                &mut report,
+                cm,
+                &plan,
+                exec.measured_time,
+                exec.peak_memory,
+                exec.allocator_stall_us,
+            );
+        }
+        out.cluster_wall_us = vclock;
+        // Teardown: stop workers waiting on the window or about to claim
+        // past a failure, and wake a prefetcher stuck on a plan that will
+        // never come.
+        queue.cancel();
+        drop(rx);
+    });
+
+    // Workers joined: sweep speculative blobs past a failure.
+    store.clear_remaining();
+    out.store = store.stats();
+
+    // Cluster totals. Host pipeline cost counts every host's decode (each
+    // fetching host burns its own CPU on its copy).
+    out.total_planning_us += out.serialize_us + out.decode_us;
+    out.total_wire_us = uplinks.iter().map(Link::wire_us).sum::<f64>()
+        + downlinks.iter().map(Link::wire_us).sum::<f64>();
+    let pushed: u64 = out.planner_hosts.iter().map(|h| h.bytes_pushed).sum();
+    out.wire_bytes = pushed
+        + out
+            .executor_hosts
+            .iter()
+            .map(|h| h.bytes_fetched)
+            .sum::<u64>();
+    out.mean_blob_bytes = if out.iterations > 0 {
+        pushed as f64 / out.iterations as f64
+    } else {
+        0.0
+    };
+    out.serial_wall_us = out.total_planning_us + out.exec_sim_us;
+    let to_hide = out.total_planning_us + out.total_wire_us;
+    out.overlap_ratio = if to_hide > 0.0 {
+        (to_hide - out.exposed_us).max(0.0) / to_hide
+    } else {
+        1.0
+    };
+    for eh in &mut out.executor_hosts {
+        // Per-host overlap: the host's share of the upstream pipeline
+        // (planning + lowering + serialize, split evenly across hosts —
+        // they all consume the same plans) plus its own fetch wire and
+        // decode, minus what it actually had to wait out on its timeline.
+        let upstream = (out.total_planning_us - out.decode_us) / cluster.executor_hosts as f64;
+        let total = upstream + eh.fetch_wire_us + eh.decode_us;
+        eh.hidden_us = (total - eh.exposed_us).max(0.0);
+        eh.overlap_ratio = if total > 0.0 {
+            eh.hidden_us / total
+        } else {
+            1.0
+        };
+    }
+    out.host_wall_us = t0.elapsed().as_secs_f64() * 1e6;
+    (report, out)
+}

@@ -1,0 +1,128 @@
+//! Cluster topology: where planners, the store, and executors live.
+
+use dynapipe_core::PlanCodec;
+use dynapipe_model::HardwareModel;
+use dynapipe_sim::LinkModel;
+
+/// Placement and sizing of a simulated multi-host deployment (Fig. 9).
+///
+/// The instruction store is colocated with **executor host 0** (the
+/// paper parks Redis in one training machine's host memory), so that
+/// host's fetch hop is free while every other hop — each planner host's
+/// push and each remaining executor host's fetch — pays the configured
+/// [`LinkModel`]. Data-parallel replica `r` executes on host
+/// `r % executor_hosts`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Planner machines (≥ 1), each running `workers_per_host` planner
+    /// workers against the shared plan-ahead window.
+    pub planner_hosts: usize,
+    /// Planner worker threads per planner host (≥ 1).
+    pub workers_per_host: usize,
+    /// Executor machines (≥ 1); clamped to the data-parallel degree at
+    /// run time (a host with no replica would have nothing to execute).
+    pub executor_hosts: usize,
+    /// Bounded plan-ahead window shared by the whole planner pool, also
+    /// the store's capacity (≥ 1).
+    pub plan_ahead: usize,
+    /// Wire codec for every plan blob on every hop.
+    pub codec: PlanCodec,
+    /// α-β cost of one inter-host hop. [`LinkModel::local`] degenerates
+    /// the topology to free transport (useful as an A/B control).
+    pub link: LinkModel,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            planner_hosts: 1,
+            workers_per_host: 1,
+            executor_hosts: 1,
+            plan_ahead: 4,
+            codec: PlanCodec::default(),
+            link: ClusterConfig::link_from_hardware(&HardwareModel::a100_cluster()),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The inter-host hop implied by a hardware model's inter-node
+    /// network (the same α-β numbers the cost model charges for
+    /// cross-node tensor traffic).
+    pub fn link_from_hardware(hw: &HardwareModel) -> LinkModel {
+        LinkModel {
+            latency_us: hw.inter_node_latency_us,
+            bandwidth: hw.inter_node_bw,
+        }
+    }
+
+    /// Clamp every dimension to its minimum and the executor count to
+    /// the data-parallel degree.
+    pub fn normalized(self, dp: usize) -> Self {
+        ClusterConfig {
+            planner_hosts: self.planner_hosts.max(1),
+            workers_per_host: self.workers_per_host.max(1),
+            executor_hosts: self.executor_hosts.max(1).min(dp.max(1)),
+            plan_ahead: self.plan_ahead.max(1),
+            codec: self.codec,
+            link: self.link,
+        }
+    }
+
+    /// Total planner workers across hosts.
+    pub fn total_workers(&self) -> usize {
+        self.planner_hosts * self.workers_per_host
+    }
+
+    /// Which planner host worker `w` runs on.
+    pub fn planner_host_of(&self, worker: usize) -> usize {
+        worker / self.workers_per_host
+    }
+
+    /// Which executor host data-parallel replica `r` runs on.
+    pub fn executor_host_of(&self, replica: usize) -> usize {
+        replica % self.executor_hosts
+    }
+
+    /// Compact topology label for reports: `"2p×1w→2e"`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}p×{}w→{}e",
+            self.planner_hosts, self.workers_per_host, self.executor_hosts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_clamps_and_assignment_round_robins() {
+        let c = ClusterConfig {
+            planner_hosts: 0,
+            workers_per_host: 0,
+            executor_hosts: 5,
+            plan_ahead: 0,
+            ..Default::default()
+        }
+        .normalized(2);
+        assert_eq!(
+            (c.planner_hosts, c.workers_per_host, c.executor_hosts, c.plan_ahead),
+            (1, 1, 2, 1)
+        );
+        assert_eq!(c.executor_host_of(0), 0);
+        assert_eq!(c.executor_host_of(1), 1);
+        assert_eq!(c.executor_host_of(2), 0);
+        let c = ClusterConfig {
+            planner_hosts: 2,
+            workers_per_host: 3,
+            ..Default::default()
+        };
+        assert_eq!(c.total_workers(), 6);
+        assert_eq!(c.planner_host_of(0), 0);
+        assert_eq!(c.planner_host_of(2), 0);
+        assert_eq!(c.planner_host_of(3), 1);
+        assert_eq!(c.label(), "2p×3w→1e");
+    }
+}

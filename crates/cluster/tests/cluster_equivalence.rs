@@ -1,0 +1,351 @@
+//! The cluster layer's differential harness: **every simulated topology
+//! is bit-identical to the serial driver**. Hosts, links and codecs may
+//! move time around — they must never move a single bit of behavior
+//! (records, totals, failure placement; floats compared by bit pattern
+//! via `RunReport::behavior_eq`).
+//!
+//! The matrix crosses topology shape (single-host, multi-planner,
+//! multi-executor), wire codec (JSON / binary), link speed (free local
+//! links and deliberately slow ones, where wire latency must be exposed
+//! but behavior still pinned), jitter, dp>1, baselines, and a
+//! failure-mid-epoch run whose speculative blobs must be swept.
+
+use dynapipe_cluster::{run_training_cluster, ClusterConfig, ClusterReport};
+use dynapipe_core::{
+    run_training, BaselineKind, BaselinePlanner, DynaPipePlanner, IterationPlanner, PlanCodec,
+    PlannerConfig, RunConfig, RunReport,
+};
+use dynapipe_cost::{CostModel, ProfileOptions};
+use dynapipe_data::{Dataset, GlobalBatchConfig, Sample};
+use dynapipe_model::{HardwareModel, ModelConfig, ParallelConfig};
+use dynapipe_sim::{JitterConfig, LinkModel};
+use std::sync::Arc;
+
+fn cost_model(pp: usize, dp: usize) -> Arc<CostModel> {
+    Arc::new(CostModel::build(
+        HardwareModel::a100_cluster(),
+        ModelConfig::gpt_3_35b(),
+        ParallelConfig::new(dp, 1, pp),
+        &ProfileOptions::coarse(),
+    ))
+}
+
+fn gbs(tokens: usize) -> GlobalBatchConfig {
+    GlobalBatchConfig {
+        tokens_per_batch: tokens,
+        max_seq_len: 2048,
+    }
+}
+
+/// The topology × codec × link matrix every scenario runs through.
+fn topologies() -> Vec<ClusterConfig> {
+    let slow = LinkModel {
+        latency_us: 500.0,
+        bandwidth: 10.0, // 10 bytes/µs: a 300 KB blob costs ~30 ms
+    };
+    let mut out = Vec::new();
+    for codec in PlanCodec::ALL {
+        // Degenerate single host, free links: must match the plain
+        // store-backed runtime's behavior exactly.
+        out.push(ClusterConfig {
+            planner_hosts: 1,
+            workers_per_host: 1,
+            executor_hosts: 1,
+            plan_ahead: 2,
+            codec,
+            link: LinkModel::local(),
+        });
+        // Multi-planner, multi-executor over the default (a100
+        // inter-node) link.
+        out.push(ClusterConfig {
+            planner_hosts: 2,
+            workers_per_host: 2,
+            executor_hosts: 2,
+            plan_ahead: 3,
+            codec,
+            ..Default::default()
+        });
+        // A link slow enough that wire time dominates: exposure may be
+        // large, behavior must not budge. (Window 3: a worker becomes
+        // eligible to claim speculatively well before a failure can
+        // cancel the pool — the failure test relies on it.)
+        out.push(ClusterConfig {
+            planner_hosts: 3,
+            workers_per_host: 1,
+            executor_hosts: 2,
+            plan_ahead: 3,
+            codec,
+            link: slow,
+        });
+    }
+    out
+}
+
+fn assert_cluster_matrix(
+    planner: &dyn IterationPlanner,
+    dataset: &Dataset,
+    gbs: GlobalBatchConfig,
+    run: RunConfig,
+    serial: &RunReport,
+) -> Vec<ClusterReport> {
+    let mut reports = Vec::new();
+    for cluster in topologies() {
+        let label = format!("{}/{}", cluster.label(), cluster.codec.label());
+        let (report, stats) = run_training_cluster(planner, dataset, gbs, run, cluster);
+        serial
+            .behavior_eq(&report)
+            .unwrap_or_else(|e| panic!("{label} diverged from serial: {e}"));
+        // Store hygiene in every topology: no orphaned blobs, occupancy
+        // bounded by the window.
+        assert_eq!(stats.store.occupancy, 0, "{label}: orphaned blobs");
+        assert_eq!(stats.store.bytes, 0, "{label}: leaked bytes");
+        assert!(
+            stats.store.peak_occupancy <= cluster.plan_ahead.max(1),
+            "{label}: store peak {} exceeded window",
+            stats.store.peak_occupancy
+        );
+        reports.push(stats);
+    }
+    reports
+}
+
+#[test]
+fn jittered_runs_are_bit_identical_across_topologies() {
+    let planner = DynaPipePlanner::new(cost_model(2, 1), PlannerConfig::default());
+    let dataset = Dataset::flanv2(211, 500);
+    let run = RunConfig {
+        max_iterations: Some(3),
+        jitter: Some(JitterConfig {
+            sigma: 0.08,
+            seed: 0xC10C,
+        }),
+        ..Default::default()
+    };
+    let serial = run_training(&planner, &dataset, gbs(16384), run);
+    assert!(serial.feasible(), "fixture must run clean: {:?}", serial.failure);
+    let reports = assert_cluster_matrix(&planner, &dataset, gbs(16384), run, &serial);
+    for r in &reports {
+        assert_eq!(r.iterations, 3);
+        // Every planner host's production reconciles with the store
+        // counters; every executed iteration crossed the wire.
+        let produced: usize = r.planner_hosts.iter().map(|h| h.plans_produced).sum();
+        assert_eq!(produced, 3, "{}: all plans accounted to a host", r.topology);
+        assert_eq!(r.store.pushes, 3);
+        assert_eq!(r.store.takes, 3);
+        assert!(r.mean_blob_bytes > 0.0);
+        assert!((0.0..=1.0).contains(&r.overlap_ratio), "{}", r.topology);
+        for eh in &r.executor_hosts {
+            assert!((0.0..=1.0).contains(&eh.overlap_ratio));
+        }
+    }
+}
+
+#[test]
+fn data_parallel_replicas_split_across_executor_hosts() {
+    let planner = DynaPipePlanner::new(cost_model(2, 2), PlannerConfig::default());
+    let dataset = Dataset::flanv2(223, 600);
+    let run = RunConfig {
+        max_iterations: Some(3),
+        jitter: None,
+        ..Default::default()
+    };
+    let serial = run_training(&planner, &dataset, gbs(32768), run);
+    assert!(serial.feasible(), "{:?}", serial.failure);
+    let reports = assert_cluster_matrix(&planner, &dataset, gbs(32768), run, &serial);
+    // In the 2-executor topologies, replica 0 runs on host 0 and
+    // replica 1 on host 1, and only host 1 pays fetch wire bytes (host 0
+    // is colocated with the store).
+    for r in reports.iter().filter(|r| r.executor_hosts.len() == 2) {
+        assert_eq!(r.executor_hosts[0].replicas, vec![0]);
+        assert_eq!(r.executor_hosts[1].replicas, vec![1]);
+        assert_eq!(r.executor_hosts[0].bytes_fetched, 0, "{}", r.topology);
+        assert!(r.executor_hosts[1].bytes_fetched > 0, "{}", r.topology);
+        assert!(r.executor_hosts[0].busy_us > 0.0);
+        assert!(r.executor_hosts[1].busy_us > 0.0);
+    }
+}
+
+#[test]
+fn slow_links_expose_wire_time_without_changing_behavior() {
+    // A/B on the same workload: free links vs a crawling network. The
+    // behavior is pinned by the matrix; here we check the timeline
+    // *does* respond to the link model — bytes genuinely cost time.
+    let planner = DynaPipePlanner::new(cost_model(2, 1), PlannerConfig::default());
+    let dataset = Dataset::flanv2(227, 500);
+    let run = RunConfig {
+        max_iterations: Some(3),
+        ..Default::default()
+    };
+    let serial = run_training(&planner, &dataset, gbs(16384), run);
+    let base = ClusterConfig {
+        planner_hosts: 2,
+        workers_per_host: 1,
+        executor_hosts: 1,
+        plan_ahead: 2,
+        codec: PlanCodec::Binary,
+        link: LinkModel::local(),
+    };
+    let (fast_report, fast) = run_training_cluster(&planner, &dataset, gbs(16384), run, base);
+    let (slow_report, slow) = run_training_cluster(
+        &planner,
+        &dataset,
+        gbs(16384),
+        run,
+        ClusterConfig {
+            link: LinkModel {
+                latency_us: 1e6, // one full second per hop
+                bandwidth: 1.0,
+            },
+            ..base
+        },
+    );
+    serial.behavior_eq(&fast_report).unwrap();
+    serial.behavior_eq(&slow_report).unwrap();
+    assert_eq!(fast.total_wire_us, 0.0, "local links are free");
+    assert!(
+        slow.total_wire_us > 1e6,
+        "slow links must accumulate wire time: {}",
+        slow.total_wire_us
+    );
+    assert!(
+        slow.cluster_wall_us > fast.cluster_wall_us,
+        "wire latency must appear on the training timeline: {} vs {}",
+        slow.cluster_wall_us,
+        fast.cluster_wall_us
+    );
+    assert!(
+        slow.exposed_us > fast.exposed_us,
+        "a second of latency per blob cannot be fully hidden"
+    );
+}
+
+#[test]
+fn baseline_planners_run_on_the_cluster_too() {
+    let planner = BaselinePlanner::new(
+        cost_model(2, 1),
+        BaselineKind::Packing {
+            max_seq_len: 2048,
+            max_target_len: 256,
+            mb_size: 1,
+        },
+    );
+    let dataset = Dataset::flanv2(229, 400);
+    let run = RunConfig {
+        max_iterations: Some(2),
+        ..Default::default()
+    };
+    let serial = run_training(&planner, &dataset, gbs(16384), run);
+    assert_cluster_matrix(&planner, &dataset, gbs(16384), run, &serial);
+}
+
+#[test]
+fn failure_mid_epoch_stops_every_topology_at_the_same_iteration() {
+    // The monster-sample fixture from the core harness: planning fails a
+    // few iterations in, each topology must stop with exactly the serial
+    // failure and sweep its speculative blobs.
+    let planner = DynaPipePlanner::new(cost_model(2, 1), PlannerConfig::default());
+    let mut dataset = Dataset::flanv2(109, 400);
+    dataset.samples[130] = Sample {
+        id: 130,
+        task: 0,
+        input_len: 2_000_000,
+        target_len: 512,
+    };
+    let gbs = GlobalBatchConfig {
+        tokens_per_batch: 16384,
+        max_seq_len: 4_000_000,
+    };
+    let run = RunConfig {
+        max_iterations: Some(20),
+        ..Default::default()
+    };
+    let serial = run_training(&planner, &dataset, gbs, run);
+    assert!(serial.failure.is_some(), "fixture must fail mid-epoch");
+    assert!(!serial.records.is_empty());
+    let reports = assert_cluster_matrix(&planner, &dataset, gbs, run, &serial);
+    for r in &reports {
+        assert_eq!(r.iterations, serial.records.len(), "{}", r.topology);
+        // With ≥2 workers and a window ≥3, a second worker holds a
+        // speculative claim while the failing iteration is still being
+        // planned; the teardown join forces that plan to finish and its
+        // blob to land. Whether the exiting prefetcher or the teardown
+        // sweep removes it is scheduling — what must hold is that the
+        // speculative blob existed and that every push was reconciled
+        // (taken or discarded, never leaked; occupancy==0 is asserted in
+        // the matrix helper).
+        let workers: usize = r.planner_hosts.iter().map(|h| h.workers).sum();
+        if r.plan_ahead > 2 && workers > 1 {
+            assert!(
+                r.store.pushes as usize >= r.iterations + 2,
+                "{}: expected the failure blob plus speculative pushes, got {} pushes \
+                 for {} records",
+                r.topology,
+                r.store.pushes,
+                r.iterations
+            );
+        }
+        assert_eq!(
+            r.store.takes + r.store.discarded,
+            r.store.pushes,
+            "{}: every pushed blob is taken or discarded",
+            r.topology
+        );
+    }
+}
+
+#[test]
+fn zero_iteration_cap_produces_empty_report() {
+    let planner = DynaPipePlanner::new(cost_model(2, 1), PlannerConfig::default());
+    let dataset = Dataset::flanv2(233, 200);
+    let run = RunConfig {
+        max_iterations: Some(0),
+        ..Default::default()
+    };
+    let serial = run_training(&planner, &dataset, gbs(16384), run);
+    let (report, stats) =
+        run_training_cluster(&planner, &dataset, gbs(16384), run, ClusterConfig::default());
+    serial.behavior_eq(&report).unwrap();
+    assert!(report.records.is_empty());
+    assert_eq!(stats.iterations, 0);
+    assert_eq!(stats.cluster_wall_us, 0.0);
+}
+
+#[test]
+fn binary_codec_shrinks_the_wire_on_identical_behavior() {
+    // Same topology, both codecs: identical RunReports (pinned in the
+    // matrix), but the binary wire must carry at most half the bytes —
+    // the acceptance bar the fig09 bench enforces on the full workload.
+    let planner = DynaPipePlanner::new(cost_model(2, 1), PlannerConfig::default());
+    let dataset = Dataset::flanv2(239, 500);
+    let run = RunConfig {
+        max_iterations: Some(2),
+        ..Default::default()
+    };
+    let base = ClusterConfig {
+        planner_hosts: 1,
+        workers_per_host: 2,
+        executor_hosts: 1,
+        plan_ahead: 2,
+        codec: PlanCodec::Json,
+        ..Default::default()
+    };
+    let (ra, json) = run_training_cluster(&planner, &dataset, gbs(16384), run, base);
+    let (rb, binary) = run_training_cluster(
+        &planner,
+        &dataset,
+        gbs(16384),
+        run,
+        ClusterConfig {
+            codec: PlanCodec::Binary,
+            ..base
+        },
+    );
+    ra.behavior_eq(&rb).unwrap();
+    assert!(json.mean_blob_bytes > 0.0 && binary.mean_blob_bytes > 0.0);
+    assert!(
+        binary.mean_blob_bytes * 2.0 <= json.mean_blob_bytes,
+        "binary blob {} bytes must be at most half of JSON {}",
+        binary.mean_blob_bytes,
+        json.mean_blob_bytes
+    );
+}

@@ -1,0 +1,511 @@
+//! The codec-agnostic wire boundary: how [`crate::store::StoredPlan`]
+//! blobs are rendered to bytes before they enter the
+//! [`crate::store::InstructionStore`] and how executors rebuild them.
+//!
+//! Two codecs share one contract — deterministic, float-exact, and
+//! re-encode bit-identical (`encode(decode(encode(p))) == encode(p)`):
+//!
+//! * [`PlanCodec::Json`] — self-describing text over the serde shim's
+//!   JSON layer. Debuggable (a blob is a readable document) but verbose:
+//!   every object repeats its field names and every `f64` costs up to 17
+//!   digits of shortest-roundtrip text.
+//! * [`PlanCodec::Binary`] — the length-prefixed binary encoding of the
+//!   same self-describing [`Value`] data model. Every string and array is
+//!   length-prefixed (no delimiters, no escaping), integers are LEB128
+//!   varints (signed values zigzag-encoded), and `f64`s are their raw
+//!   little-endian bit patterns — exact by construction, including
+//!   non-finite values that JSON must detour through tagged strings.
+//!   Strings are **interned**: the first occurrence is written inline and
+//!   assigned the next table index, later occurrences are a one-tag
+//!   varint back-reference. Plan blobs are dominated by repeated object
+//!   keys and enum tags (`"duration"`, `"Compute"`, …), which is exactly
+//!   what the table collapses. Decoding never touches the JSON parser.
+//!
+//! Both codecs route through [`Value`], so *what* is encoded is decided
+//! once by the `Serialize` impls; the codec only decides *how bytes are
+//! laid out*. The property suite in `tests/serialization.rs` pins both
+//! codecs (cross-decode equal, re-encode bitwise, engine runs over
+//! decoded programs bit-identical), and the `fig09_cluster` /
+//! `fig17_planahead` benches fail CI if the binary codec stops beating
+//! JSON on bytes.
+
+use serde::{Error, Value};
+use std::collections::HashMap;
+
+/// Which wire encoding a [`crate::store::StoredPlan`] blob uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanCodec {
+    /// Self-describing JSON text (UTF-8 bytes).
+    #[default]
+    Json,
+    /// Length-prefixed binary with string interning; see module docs.
+    Binary,
+}
+
+impl PlanCodec {
+    /// Both codecs, for A/B sweeps.
+    pub const ALL: [PlanCodec; 2] = [PlanCodec::Json, PlanCodec::Binary];
+
+    /// Short label for reports and artifacts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlanCodec::Json => "json",
+            PlanCodec::Binary => "binary",
+        }
+    }
+
+    /// Render a [`Value`] tree to wire bytes. Deterministic: the bytes
+    /// are a pure function of the tree.
+    pub fn encode_value(&self, v: &Value) -> Vec<u8> {
+        match self {
+            PlanCodec::Json => v.to_json().into_bytes(),
+            PlanCodec::Binary => {
+                let mut enc = BinaryEncoder::new();
+                enc.value(v);
+                enc.out
+            }
+        }
+    }
+
+    /// Rebuild a [`Value`] tree from wire bytes produced by
+    /// [`PlanCodec::encode_value`] with the *same* codec. A blob from the
+    /// other codec fails loudly (the binary magic byte is not valid JSON,
+    /// and JSON text never starts with the magic), never silently
+    /// misparses.
+    pub fn decode_value(&self, blob: &[u8]) -> Result<Value, Error> {
+        match self {
+            PlanCodec::Json => {
+                let text = std::str::from_utf8(blob)
+                    .map_err(|e| Error::msg(format!("blob is not UTF-8 JSON: {e}")))?;
+                serde::value::parse_json(text)
+            }
+            PlanCodec::Binary => BinaryDecoder::new(blob)?.finish(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary layout
+// ---------------------------------------------------------------------------
+//
+// blob := MAGIC VERSION value
+// value := T_NULL | T_FALSE | T_TRUE
+//        | T_U64 varint | T_I64 varint(zigzag) | T_F64 u64le(bits)
+//        | T_STR varint(len) utf8-bytes       (appends to string table)
+//        | T_STR_REF varint(index)            (back-reference)
+//        | T_ARRAY varint(count) value*
+//        | T_OBJECT varint(count) (string value)*
+//
+// `string` in an object entry is a T_STR/T_STR_REF node (keys intern
+// through the same table as string values).
+
+/// First blob byte; deliberately outside ASCII so a binary blob can never
+/// be confused with JSON text (which starts with `{`, `[`, a digit, …).
+const MAGIC: u8 = 0xB1;
+/// Layout version, bumped on any incompatible change.
+const VERSION: u8 = 1;
+
+const T_NULL: u8 = 0;
+const T_FALSE: u8 = 1;
+const T_TRUE: u8 = 2;
+const T_U64: u8 = 3;
+const T_I64: u8 = 4;
+const T_F64: u8 = 5;
+const T_STR: u8 = 6;
+const T_STR_REF: u8 = 7;
+const T_ARRAY: u8 = 8;
+const T_OBJECT: u8 = 9;
+
+struct BinaryEncoder {
+    out: Vec<u8>,
+    interned: HashMap<String, u64>,
+}
+
+impl BinaryEncoder {
+    fn new() -> Self {
+        let mut out = Vec::with_capacity(256);
+        out.push(MAGIC);
+        out.push(VERSION);
+        BinaryEncoder {
+            out,
+            interned: HashMap::new(),
+        }
+    }
+
+    fn varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.out.push(byte);
+                return;
+            }
+            self.out.push(byte | 0x80);
+        }
+    }
+
+    fn string(&mut self, s: &str) {
+        if let Some(&id) = self.interned.get(s) {
+            self.out.push(T_STR_REF);
+            self.varint(id);
+        } else {
+            let id = self.interned.len() as u64;
+            self.interned.insert(s.to_string(), id);
+            self.out.push(T_STR);
+            self.varint(s.len() as u64);
+            self.out.extend_from_slice(s.as_bytes());
+        }
+    }
+
+    fn value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.out.push(T_NULL),
+            Value::Bool(false) => self.out.push(T_FALSE),
+            Value::Bool(true) => self.out.push(T_TRUE),
+            Value::U64(u) => {
+                self.out.push(T_U64);
+                self.varint(*u);
+            }
+            Value::I64(i) => {
+                // Zigzag: small magnitudes of either sign stay short.
+                self.out.push(T_I64);
+                self.varint(((i << 1) ^ (i >> 63)) as u64);
+            }
+            Value::F64(f) => {
+                self.out.push(T_F64);
+                self.out.extend_from_slice(&f.to_bits().to_le_bytes());
+            }
+            Value::Str(s) => self.string(s),
+            Value::Array(items) => {
+                self.out.push(T_ARRAY);
+                self.varint(items.len() as u64);
+                for item in items {
+                    self.value(item);
+                }
+            }
+            Value::Object(entries) => {
+                self.out.push(T_OBJECT);
+                self.varint(entries.len() as u64);
+                for (k, v) in entries {
+                    self.string(k);
+                    self.value(v);
+                }
+            }
+        }
+    }
+}
+
+struct BinaryDecoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    table: Vec<String>,
+}
+
+impl<'a> BinaryDecoder<'a> {
+    fn new(blob: &'a [u8]) -> Result<Self, Error> {
+        match blob {
+            [MAGIC, VERSION, ..] => Ok(BinaryDecoder {
+                bytes: blob,
+                pos: 2,
+                table: Vec::new(),
+            }),
+            [MAGIC, v, ..] => Err(Error::msg(format!(
+                "unsupported binary plan version {v} (expected {VERSION})"
+            ))),
+            _ => Err(Error::msg("not a binary plan blob (bad magic)")),
+        }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::msg(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn byte(&mut self) -> Result<u8, Error> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| self.err("unexpected end of blob"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn varint(&mut self) -> Result<u64, Error> {
+        let mut v = 0u64;
+        for shift in (0..64).step_by(7) {
+            let b = self.byte()?;
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(self.err("varint too long"))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| self.err("length prefix past end of blob"))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        match self.byte()? {
+            T_STR => {
+                let len = self.varint()? as usize;
+                let s = std::str::from_utf8(self.take(len)?)
+                    .map_err(|_| self.err("invalid utf-8 in string"))?
+                    .to_string();
+                self.table.push(s.clone());
+                Ok(s)
+            }
+            T_STR_REF => {
+                let id = self.varint()? as usize;
+                self.table
+                    .get(id)
+                    .cloned()
+                    .ok_or_else(|| self.err("string back-reference out of range"))
+            }
+            _ => Err(self.err("expected string node")),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.byte()? {
+            T_NULL => Ok(Value::Null),
+            T_FALSE => Ok(Value::Bool(false)),
+            T_TRUE => Ok(Value::Bool(true)),
+            T_U64 => Ok(Value::U64(self.varint()?)),
+            T_I64 => {
+                let z = self.varint()?;
+                Ok(Value::I64(((z >> 1) as i64) ^ -((z & 1) as i64)))
+            }
+            T_F64 => {
+                let bits = u64::from_le_bytes(
+                    self.take(8)?
+                        .try_into()
+                        .expect("take(8) returns 8 bytes"),
+                );
+                Ok(Value::F64(f64::from_bits(bits)))
+            }
+            T_STR | T_STR_REF => {
+                self.pos -= 1; // re-read the tag inside string()
+                Ok(Value::Str(self.string()?))
+            }
+            T_ARRAY => {
+                let n = self.varint()? as usize;
+                // Guard allocation against a corrupt count: each element
+                // needs at least one tag byte.
+                if n > self.bytes.len() - self.pos {
+                    return Err(self.err("array count past end of blob"));
+                }
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(self.value()?);
+                }
+                Ok(Value::Array(items))
+            }
+            T_OBJECT => {
+                let n = self.varint()? as usize;
+                if n > self.bytes.len() - self.pos {
+                    return Err(self.err("object count past end of blob"));
+                }
+                let mut entries = serde::Map::with_capacity(n);
+                for _ in 0..n {
+                    let k = self.string()?;
+                    entries.push((k, self.value()?));
+                }
+                Ok(Value::Object(entries))
+            }
+            t => Err(self.err(&format!("unknown tag {t}"))),
+        }
+    }
+
+    fn finish(mut self) -> Result<Value, Error> {
+        let v = self.value()?;
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing bytes after value"));
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) -> Value {
+        let blob = PlanCodec::Binary.encode_value(v);
+        PlanCodec::Binary.decode_value(&blob).expect("decodes")
+    }
+
+    fn assert_identical(a: &Value, b: &Value) {
+        // Variant-exact (PartialEq alone would accept U64 1 == F64 1.0),
+        // recursing structurally; floats by bit pattern.
+        match (a, b) {
+            (Value::F64(x), Value::F64(y)) => assert_eq!(x.to_bits(), y.to_bits()),
+            (Value::Array(xs), Value::Array(ys)) => {
+                assert_eq!(xs.len(), ys.len());
+                for (x, y) in xs.iter().zip(ys) {
+                    assert_identical(x, y);
+                }
+            }
+            (Value::Object(xs), Value::Object(ys)) => {
+                assert_eq!(xs.len(), ys.len());
+                for ((ka, va), (kb, vb)) in xs.iter().zip(ys) {
+                    assert_eq!(ka, kb);
+                    assert_identical(va, vb);
+                }
+            }
+            (Value::U64(x), Value::U64(y)) => assert_eq!(x, y),
+            (Value::I64(x), Value::I64(y)) => assert_eq!(x, y),
+            (Value::Str(x), Value::Str(y)) => assert_eq!(x, y),
+            (Value::Bool(x), Value::Bool(y)) => assert_eq!(x, y),
+            (Value::Null, Value::Null) => {}
+            (x, y) => panic!("variant mismatch: {x:?} vs {y:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_roundtrips_every_variant_exactly() {
+        let v = Value::Object(vec![
+            ("null".into(), Value::Null),
+            ("t".into(), Value::Bool(true)),
+            ("f".into(), Value::Bool(false)),
+            (
+                "u".into(),
+                Value::Array(vec![
+                    Value::U64(0),
+                    Value::U64(127),
+                    Value::U64(128),
+                    Value::U64(u64::MAX),
+                ]),
+            ),
+            (
+                "i".into(),
+                Value::Array(vec![
+                    Value::I64(0),
+                    Value::I64(-1),
+                    Value::I64(i64::MIN),
+                    Value::I64(i64::MAX),
+                ]),
+            ),
+            (
+                "f64".into(),
+                Value::Array(vec![
+                    Value::F64(0.0),
+                    Value::F64(-0.0),
+                    Value::F64(f64::INFINITY),
+                    Value::F64(f64::NEG_INFINITY),
+                    Value::F64(1.0000000000000002),
+                ]),
+            ),
+            ("s".into(), Value::Str("hello \"wire\" \u{1F600}".into())),
+            ("empty".into(), Value::Array(vec![])),
+        ]);
+        assert_identical(&roundtrip(&v), &v);
+    }
+
+    #[test]
+    fn binary_preserves_nan_bits_where_json_cannot() {
+        // JSON tags non-finite floats as strings; the binary codec keeps
+        // the exact bit pattern, including a NaN payload.
+        let weird = f64::from_bits(0x7ff8_dead_beef_0001);
+        match roundtrip(&Value::F64(weird)) {
+            Value::F64(f) => assert_eq!(f.to_bits(), weird.to_bits()),
+            other => panic!("expected F64, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_reencode_is_bit_identical() {
+        let v = Value::Array(vec![
+            Value::Object(vec![
+                ("duration".into(), Value::F64(1.5)),
+                ("label".into(), Value::Str("Compute".into())),
+            ]),
+            Value::Object(vec![
+                ("duration".into(), Value::F64(2.5)),
+                ("label".into(), Value::Str("Compute".into())),
+            ]),
+        ]);
+        let blob = PlanCodec::Binary.encode_value(&v);
+        let back = PlanCodec::Binary.decode_value(&blob).unwrap();
+        assert_eq!(PlanCodec::Binary.encode_value(&back), blob);
+    }
+
+    #[test]
+    fn interning_collapses_repeated_strings() {
+        let once = Value::Array(vec![Value::Str("a-reasonably-long-key".into())]);
+        let many = Value::Array(
+            (0..64)
+                .map(|_| Value::Str("a-reasonably-long-key".into()))
+                .collect(),
+        );
+        let b1 = PlanCodec::Binary.encode_value(&once).len();
+        let b64 = PlanCodec::Binary.encode_value(&many).len();
+        // 63 back-references cost ~2 bytes each, not 21+.
+        assert!(
+            b64 < b1 + 63 * 3,
+            "interning failed: 64 copies cost {b64} bytes vs {b1} for one"
+        );
+    }
+
+    #[test]
+    fn codec_mismatch_fails_loudly() {
+        let v = Value::Object(vec![("k".into(), Value::U64(1))]);
+        let json = PlanCodec::Json.encode_value(&v);
+        let binary = PlanCodec::Binary.encode_value(&v);
+        assert!(PlanCodec::Binary.decode_value(&json).is_err());
+        assert!(PlanCodec::Json.decode_value(&binary).is_err());
+    }
+
+    #[test]
+    fn truncated_and_corrupt_blobs_error_cleanly() {
+        let v = Value::Array(vec![Value::Str("abc".into()), Value::U64(7)]);
+        let blob = PlanCodec::Binary.encode_value(&v);
+        for cut in 0..blob.len() {
+            assert!(
+                PlanCodec::Binary.decode_value(&blob[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+        let mut trailing = blob.clone();
+        trailing.push(0);
+        assert!(PlanCodec::Binary.decode_value(&trailing).is_err());
+        let mut bad_tag = blob;
+        *bad_tag.last_mut().unwrap() = 0xEE;
+        assert!(PlanCodec::Binary.decode_value(&bad_tag).is_err());
+    }
+
+    #[test]
+    fn binary_beats_json_on_a_plan_shaped_tree() {
+        // Miniature of a device program: repeated keys, enum tags, floats.
+        let op = |d: f64, mb: u64| {
+            Value::Object(vec![(
+                "Compute".into(),
+                Value::Object(vec![
+                    ("duration".into(), Value::F64(d)),
+                    (
+                        "allocs".into(),
+                        Value::Array(vec![Value::Object(vec![
+                            ("id".into(), Value::U64(mb)),
+                            ("bytes".into(), Value::U64(123_456_789)),
+                        ])]),
+                    ),
+                    ("frees".into(), Value::Array(vec![Value::U64(mb)])),
+                ]),
+            )])
+        };
+        let tree = Value::Array((0..32).map(|i| op(1234.5678 + i as f64, i)).collect());
+        let json = PlanCodec::Json.encode_value(&tree).len();
+        let binary = PlanCodec::Binary.encode_value(&tree).len();
+        assert!(
+            binary * 2 <= json,
+            "binary {binary} bytes must be at most half of JSON {json}"
+        );
+    }
+}

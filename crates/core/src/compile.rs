@@ -19,43 +19,122 @@ use dynapipe_cost::CostModel;
 use dynapipe_model::memory::RecomputeMode;
 use dynapipe_model::{Bytes, MicroBatchShape, Micros};
 use dynapipe_sim::{AllocSpec, CommDir, DeviceProgram, OpLabel, SimOp};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+/// Lazily filled `(stage, shape[, mode])` → cost tables. Plans routinely
+/// repeat micro-batch shapes (padding buckets collapse many samples onto
+/// few distinct shapes, and every shape appears once per forward and
+/// once per backward per stage), so each analytic formula is evaluated
+/// once per distinct key instead of once per instruction.
+#[derive(Default)]
+struct CostMemo {
+    fwd: HashMap<(usize, MicroBatchShape), Micros>,
+    bwd: HashMap<(usize, MicroBatchShape, RecomputeMode), Micros>,
+    act: HashMap<(usize, MicroBatchShape, RecomputeMode), Bytes>,
+}
 
 /// Ground-truth per-stage costs used when lowering (the "real" execution
 /// times, as opposed to the planner's interpolated estimates).
+///
+/// Memoized per `(shape, stage)` (and recompute mode where it matters)
+/// by default — bit-identical to the direct analytic evaluation, since a
+/// memo hit returns the very `f64`/`u64` the first evaluation produced
+/// (pinned by the unit tests below). Use [`GroundTruth::unmemoized`] for
+/// a reference instance that recomputes every query. Not `Sync`: one
+/// instance per lowering call.
 pub struct GroundTruth<'a> {
     cm: &'a CostModel,
+    memo: Option<RefCell<CostMemo>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
 }
 
 impl<'a> GroundTruth<'a> {
-    /// Ground truth sharing the cost model's hardware and layout.
+    /// Ground truth sharing the cost model's hardware and layout, with
+    /// the `(shape, stage)` memo enabled.
     pub fn new(cm: &'a CostModel) -> Self {
-        GroundTruth { cm }
+        GroundTruth {
+            cm,
+            memo: Some(RefCell::new(CostMemo::default())),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+        }
+    }
+
+    /// A reference instance that recomputes every query — the oracle the
+    /// memo is pinned against.
+    pub fn unmemoized(cm: &'a CostModel) -> Self {
+        GroundTruth {
+            cm,
+            memo: None,
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+        }
+    }
+
+    /// `(memo hits, memo misses)` so far; `(0, 0)` when unmemoized.
+    pub fn memo_stats(&self) -> (u64, u64) {
+        (self.hits.get(), self.misses.get())
+    }
+
+    fn lookup<K, V, F, G>(&self, key: K, table: F, compute: G) -> V
+    where
+        K: std::hash::Hash + Eq + Copy,
+        V: Copy,
+        F: Fn(&mut CostMemo) -> &mut HashMap<K, V>,
+        G: Fn() -> V,
+    {
+        let Some(memo) = &self.memo else {
+            return compute();
+        };
+        let mut memo = memo.borrow_mut();
+        if let Some(&v) = table(&mut memo).get(&key) {
+            self.hits.set(self.hits.get() + 1);
+            return v;
+        }
+        self.misses.set(self.misses.get() + 1);
+        let v = compute();
+        table(&mut memo).insert(key, v);
+        v
     }
 
     /// Exact forward time of stage `s` (analytic, no interpolation).
     pub fn stage_fwd(&self, s: usize, shape: &MicroBatchShape) -> Micros {
-        self.cm.hw.stage_time_fwd(
-            &self.cm.model,
-            self.cm.layout.stage(s),
-            shape,
-            self.cm.parallel.tp,
+        self.lookup(
+            (s, *shape),
+            |m| &mut m.fwd,
+            || {
+                self.cm.hw.stage_time_fwd(
+                    &self.cm.model,
+                    self.cm.layout.stage(s),
+                    shape,
+                    self.cm.parallel.tp,
+                )
+            },
         )
     }
 
     /// Exact backward time of stage `s`, including recompute overhead.
     pub fn stage_bwd(&self, s: usize, shape: &MicroBatchShape, mode: RecomputeMode) -> Micros {
-        let st = self.cm.layout.stage(s);
-        self.cm
-            .hw
-            .stage_time_bwd(&self.cm.model, st, shape, self.cm.parallel.tp)
-            + self.cm.mem.recompute_extra_time(
-                &self.cm.hw,
-                &self.cm.model,
-                st,
-                shape,
-                mode,
-                self.cm.parallel.tp,
-            )
+        self.lookup(
+            (s, *shape, mode),
+            |m| &mut m.bwd,
+            || {
+                let st = self.cm.layout.stage(s);
+                self.cm
+                    .hw
+                    .stage_time_bwd(&self.cm.model, st, shape, self.cm.parallel.tp)
+                    + self.cm.mem.recompute_extra_time(
+                        &self.cm.hw,
+                        &self.cm.model,
+                        st,
+                        shape,
+                        mode,
+                        self.cm.parallel.tp,
+                    )
+            },
+        )
     }
 
     /// Exact activation bytes stage `s` holds for one micro-batch.
@@ -65,12 +144,18 @@ impl<'a> GroundTruth<'a> {
         shape: &MicroBatchShape,
         mode: RecomputeMode,
     ) -> Bytes {
-        self.cm.mem.stage_activation_bytes(
-            &self.cm.model,
-            self.cm.layout.stage(s),
-            shape,
-            mode,
-            self.cm.parallel.tp,
+        self.lookup(
+            (s, *shape, mode),
+            |m| &mut m.act,
+            || {
+                self.cm.mem.stage_activation_bytes(
+                    &self.cm.model,
+                    self.cm.layout.stage(s),
+                    shape,
+                    mode,
+                    self.cm.parallel.tp,
+                )
+            },
         )
     }
 }
@@ -94,9 +179,18 @@ const WS_BWD_BIT: u64 = 1 << 33;
 /// Device `j` of the output corresponds to pipeline stage `j`. Forward
 /// passes allocate the stage's activation for the micro-batch; the matching
 /// backward pass frees it. Both passes additionally hold a transient
-/// workspace for the duration of the op.
+/// workspace for the duration of the op. Ground-truth costs are memoized
+/// per `(shape, stage)`, so plans with repeated micro-batch shapes price
+/// each distinct shape once (bit-identical to recomputing — pinned by
+/// `memoized_lowering_is_bit_identical` below).
 pub fn compile_replica(cm: &CostModel, plan: &ExecutionPlan) -> Vec<DeviceProgram> {
-    let truth = GroundTruth::new(cm);
+    compile_replica_with(&GroundTruth::new(cm), plan)
+}
+
+/// [`compile_replica`] against a caller-supplied [`GroundTruth`] (e.g.
+/// the unmemoized reference, or a memo shared across several plans of
+/// the same model).
+pub fn compile_replica_with(truth: &GroundTruth<'_>, plan: &ExecutionPlan) -> Vec<DeviceProgram> {
     let c = plan.num_stages();
     let mut programs = Vec::with_capacity(c);
     for (j, stream) in plan.per_stage.iter().enumerate() {
@@ -274,6 +368,67 @@ mod tests {
             let back: DeviceProgram = serde_json::from_str(&json).unwrap();
             assert_eq!(&back, p);
             assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        }
+    }
+
+    #[test]
+    fn memoized_lowering_is_bit_identical() {
+        // The ROADMAP follow-up: repeated micro-batch shapes must stop
+        // re-running the analytic formulas — without moving a single
+        // bit. The toy plan deliberately repeats shapes so the memo
+        // engages, and the memoized compile output is compared bitwise
+        // against the unmemoized reference.
+        let cm = cm();
+        let c = cm.num_stages();
+        let shapes: Vec<MicroBatchShape> = (0..8)
+            .map(|i| MicroBatchShape::gpt(1 + i % 2, 256 * (1 + i % 3)))
+            .collect();
+        // Direct oracle comparison on every (stage, shape, mode) query,
+        // asked twice so the second answer is a memo hit.
+        let memoized = GroundTruth::new(&cm);
+        let reference = GroundTruth::unmemoized(&cm);
+        for _round in 0..2 {
+            for s in 0..c {
+                for shape in &shapes {
+                    assert_eq!(
+                        memoized.stage_fwd(s, shape).to_bits(),
+                        reference.stage_fwd(s, shape).to_bits()
+                    );
+                    for mode in RecomputeMode::ALL {
+                        assert_eq!(
+                            memoized.stage_bwd(s, shape, mode).to_bits(),
+                            reference.stage_bwd(s, shape, mode).to_bits()
+                        );
+                        assert_eq!(
+                            memoized.stage_activation(s, shape, mode),
+                            reference.stage_activation(s, shape, mode)
+                        );
+                    }
+                }
+            }
+        }
+        let (hits, misses) = memoized.memo_stats();
+        // 8 shape slots over 3 distinct shapes × 2 batch sizes → 6
+        // distinct keys; round 2 and the repeats in round 1 must hit.
+        assert!(hits > misses, "memo never engaged: {hits} hits / {misses} misses");
+        assert_eq!(reference.memo_stats(), (0, 0), "reference must not memoize");
+
+        // And the full lowering path: memoized programs == reference
+        // programs, including exact f64 duration bits.
+        let plan = toy_plan(&cm, 6);
+        let fast = compile_replica(&cm, &plan);
+        let slow = compile_replica_with(&GroundTruth::unmemoized(&cm), &plan);
+        assert_eq!(fast, slow);
+        for (pf, ps) in fast.iter().zip(&slow) {
+            for (of, os) in pf.ops.iter().zip(&ps.ops) {
+                if let (
+                    SimOp::Compute { duration: df, .. },
+                    SimOp::Compute { duration: ds, .. },
+                ) = (of, os)
+                {
+                    assert_eq!(df.to_bits(), ds.to_bits());
+                }
+            }
         }
     }
 

@@ -325,9 +325,10 @@ pub fn run_training(
 }
 
 /// Fold one executed iteration into the report — the single record
-/// assembly shared by the serial driver and the pipelined runtime, so
-/// both produce structurally identical reports from identical inputs.
-pub(crate) fn record_iteration(
+/// assembly shared by the serial driver, the pipelined runtime and the
+/// cluster layer, so every orchestration produces structurally identical
+/// reports from identical inputs.
+pub fn record_iteration(
     report: &mut RunReport,
     cm: &CostModel,
     plan: &IterationPlan,

@@ -32,6 +32,7 @@
 //! * [`gridsearch`] — the paper's 3D-parallelism grid search.
 
 pub mod baseline;
+pub mod codec;
 pub mod compile;
 pub mod driver;
 pub mod gridsearch;
@@ -41,7 +42,8 @@ pub mod runtime;
 pub mod store;
 
 pub use baseline::{BaselineKind, BaselinePlanner};
-pub use compile::compile_replica;
+pub use codec::PlanCodec;
+pub use compile::{compile_replica, compile_replica_with, GroundTruth};
 pub use driver::{run_training, IterationPlanner, IterationRecord, RunConfig, RunReport};
 pub use gridsearch::{search_parallelism, CandidateScore};
 pub use parallel::{generate_plans_parallel, ParallelPlanStats};
@@ -50,8 +52,8 @@ pub use planner::{
     ScheduleKind,
 };
 pub use runtime::{
-    run_training_pipelined, CompiledIteration, IterationExecution, PlanDistribution,
-    ReplicaParallelism, RuntimeConfig, RuntimeStats,
+    run_training_pipelined, CompiledIteration, IterationExecution, PlanAheadQueue,
+    PlanDistribution, ReplicaParallelism, RuntimeConfig, RuntimeStats, TicketGuard, WaitOutcome,
 };
 pub use store::{
     InstructionStore, StoreConfig, StoreError, StoreStats, StoredLowered, StoredOutcome,

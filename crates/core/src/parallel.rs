@@ -98,7 +98,7 @@ pub fn generate_plans_parallel(
                                 },
                             ),
                         }
-                        .encode();
+                        .encode(crate::codec::PlanCodec::Json);
                         store
                             .push(i, blob)
                             .unwrap_or_else(|e| panic!("storing plan {i} failed: {e}"));

@@ -88,6 +88,7 @@
 //! the win; see [`RuntimeStats`]. The same methodology backs the existing
 //! `fig17_planning_time` bench's planning/iteration ratios.
 
+use crate::codec::PlanCodec;
 use crate::driver::{record_iteration, IterationPlanner, RunConfig, RunReport};
 use crate::planner::{IterationPlan, PlanError};
 use crate::store::{InstructionStore, StoreStats, StoredLowered, StoredOutcome, StoredPlan};
@@ -132,6 +133,10 @@ pub struct RuntimeConfig {
     pub workers: usize,
     /// Plan-distribution layer between the pool and the executor.
     pub distribution: PlanDistribution,
+    /// Wire codec for [`PlanDistribution::StoreBacked`] blobs (ignored
+    /// in-process). Both codecs are bit-exact; they differ in bytes and
+    /// decode time (see [`crate::codec`]).
+    pub codec: PlanCodec,
 }
 
 impl Default for RuntimeConfig {
@@ -140,6 +145,7 @@ impl Default for RuntimeConfig {
             plan_ahead: 4,
             workers: rayon::current_num_threads().saturating_sub(1).max(1),
             distribution: PlanDistribution::InProcess,
+            codec: PlanCodec::default(),
         }
     }
 }
@@ -151,6 +157,7 @@ impl RuntimeConfig {
             plan_ahead: self.plan_ahead.max(1),
             workers: self.workers.max(1),
             distribution: self.distribution,
+            codec: self.codec,
         }
     }
 }
@@ -166,11 +173,15 @@ pub struct CompiledIteration {
 
 /// Lower every replica of `plan` to simulator device programs (the
 /// lowering stage; pure, so programs are identical wherever lowering
-/// runs).
+/// runs). One ground-truth memo serves all replicas: padding buckets
+/// repeat micro-batch shapes across replicas, so each distinct
+/// `(stage, shape)` is priced once per iteration, not once per replica
+/// (bit-identical either way — the memo returns the first evaluation).
 pub fn lower_replicas(cm: &CostModel, plan: &IterationPlan) -> Vec<Arc<Vec<DeviceProgram>>> {
+    let truth = crate::compile::GroundTruth::new(cm);
     plan.replicas
         .iter()
-        .map(|r| Arc::new(crate::compile::compile_replica(cm, &r.plan)))
+        .map(|r| Arc::new(crate::compile::compile_replica_with(&truth, &r.plan)))
         .collect()
 }
 
@@ -178,6 +189,75 @@ pub fn lower_replicas(cm: &CostModel, plan: &IterationPlan) -> Vec<Arc<Vec<Devic
 pub fn lower_iteration(cm: &CostModel, plan: IterationPlan) -> CompiledIteration {
     let programs = lower_replicas(cm, &plan);
     CompiledIteration { plan, programs }
+}
+
+/// Distribution accounting of one [`plan_lower_push`] call.
+pub struct StorePush {
+    /// Worker wall-clock spent planning (µs).
+    pub plan_us: f64,
+    /// Worker wall-clock spent lowering (µs).
+    pub lower_us: f64,
+    /// Worker wall-clock spent encoding + pushing the blob (µs).
+    pub serialize_us: f64,
+    /// Size of the pushed wire blob.
+    pub blob_bytes: usize,
+}
+
+/// The store-backed planner-worker body, shared by the plan-ahead
+/// runtime and the cluster layer: plan the mini-batch, lower to *owned*
+/// programs (one ground-truth memo across replicas — the plans are
+/// about to cross the wire, so sharing `Arc`s buys nothing), encode with
+/// `codec` and push the blob keyed by `index` with put-side
+/// backpressure. Planning failures are pushed too ([`StoredOutcome::Failed`])
+/// so the executor reports them at exactly the serial iteration.
+///
+/// # Panics
+///
+/// If the push fails — window accounting means a healthy run never
+/// blocks long enough to time out, so failure is a crashed-counterpart
+/// signal. Callers hold a [`TicketGuard`], whose unwind poisons the
+/// queue and store instead of deadlocking the executor.
+pub fn plan_lower_push(
+    planner: &dyn IterationPlanner,
+    store: &InstructionStore,
+    codec: PlanCodec,
+    index: usize,
+    batch: &[Sample],
+) -> StorePush {
+    let cm = planner.cost_model();
+    let t_plan = Instant::now();
+    let planned = planner.plan(batch);
+    let plan_us = t_plan.elapsed().as_secs_f64() * 1e6;
+    let t_lower = Instant::now();
+    let outcome = match planned {
+        Ok(plan) => {
+            let truth = crate::compile::GroundTruth::new(cm);
+            let programs = plan
+                .replicas
+                .iter()
+                .map(|r| crate::compile::compile_replica_with(&truth, &r.plan))
+                .collect();
+            StoredOutcome::Plan(StoredLowered { plan, programs })
+        }
+        Err(e) => StoredOutcome::Failed(e),
+    };
+    let lower_us = t_lower.elapsed().as_secs_f64() * 1e6;
+    let t_ser = Instant::now();
+    let blob = StoredPlan {
+        iteration: index,
+        outcome,
+    }
+    .encode(codec);
+    let blob_bytes = blob.len();
+    store
+        .push_blocking(index, blob, STORE_WAIT)
+        .unwrap_or_else(|e| panic!("instruction store push failed: {e}"));
+    StorePush {
+        plan_us,
+        lower_us,
+        serialize_us: t_ser.elapsed().as_secs_f64() * 1e6,
+        blob_bytes,
+    }
 }
 
 /// The engine configuration for one replica of one iteration — the single
@@ -233,6 +313,10 @@ pub struct IterationExecution {
     /// Host wall-clock the engines spent simulating, summed over replicas
     /// (µs) — the executor-side cost in the overlap accounting.
     pub host_wall_us: f64,
+    /// Per-replica simulated makespans (µs), in replica order — the
+    /// cluster layer aggregates these per executor host; `measured_time`
+    /// is their max plus the gradient sync.
+    pub replica_makespans: Vec<Micros>,
 }
 
 /// Execute one lowered iteration's replicas and fold the results exactly
@@ -259,9 +343,12 @@ pub fn execute_lowered(
         peak_memory: vec![0u64; c],
         allocator_stall_us: 0.0,
         host_wall_us: 0.0,
+        replica_makespans: Vec::with_capacity(programs.len()),
     };
     let mut worst_makespan: Micros = 0.0;
+    let mut makespans: Vec<Micros> = Vec::with_capacity(programs.len());
     let mut fold = |result: SimResult| {
+        makespans.push(result.makespan);
         worst_makespan = worst_makespan.max(result.makespan);
         for (j, &p) in result.peak_memory.iter().enumerate() {
             exec.peak_memory[j] = exec.peak_memory[j].max(p);
@@ -288,6 +375,7 @@ pub fn execute_lowered(
         }
     }
     drop(fold);
+    exec.replica_makespans = makespans;
     exec.measured_time = worst_makespan + plan.dp_sync_time;
     Ok(exec)
 }
@@ -321,17 +409,18 @@ struct PlannedIteration {
 }
 
 /// What the executor receives for an iteration index.
-enum WaitOutcome {
-    Planned(PlannedIteration),
+pub enum WaitOutcome<T> {
+    /// The iteration's planned payload.
+    Planned(T),
     /// The epoch ended before this iteration.
     EndOfEpoch,
     /// The run was cancelled (executor failure/teardown) before this
-    /// iteration completed planning — only ever observed by the
-    /// store-mode prefetcher, which runs ahead of the executor.
+    /// iteration completed planning — only ever observed by a consumer
+    /// running ahead of the executor (e.g. the store-mode prefetcher).
     Cancelled,
 }
 
-struct QueueState {
+struct QueueState<T> {
     /// Next iteration index the planner pool will claim.
     next_ticket: usize,
     /// Next iteration index the executor will consume.
@@ -345,25 +434,29 @@ struct QueueState {
     /// instead of waiting forever.
     worker_panicked: bool,
     /// Completed, not-yet-consumed iterations.
-    ready: HashMap<usize, PlannedIteration>,
+    ready: HashMap<usize, T>,
     /// High-water mark of `ready` (bounded by the window).
     max_ready: usize,
 }
 
-/// The bounded plan-ahead queue between the planner pool and the
-/// executor. Claiming a ticket pulls the matching mini-batch from the
+/// The bounded plan-ahead queue between a planner pool and an in-order
+/// executor, generic over the planned payload `T` (this runtime's
+/// [`PlannedIteration`]; the cluster layer's host-annotated receipt).
+/// Claiming a ticket pulls the matching mini-batch from the
 /// stream under the queue lock, so ticket order always equals stream
 /// order; the window condition `next_ticket < next_consume + plan_ahead`
 /// bounds both speculation and resident compiled plans.
-struct PlanAheadQueue {
-    state: Mutex<QueueState>,
+pub struct PlanAheadQueue<T> {
+    state: Mutex<QueueState<T>>,
     cv: Condvar,
     window: usize,
     cap: usize,
 }
 
-impl PlanAheadQueue {
-    fn new(window: usize, cap: usize) -> Self {
+impl<T> PlanAheadQueue<T> {
+    /// A queue bounded to `window` in-flight iterations, planning at most
+    /// `cap` iterations in total.
+    pub fn new(window: usize, cap: usize) -> Self {
         PlanAheadQueue {
             state: Mutex::new(QueueState {
                 next_ticket: 0,
@@ -380,14 +473,14 @@ impl PlanAheadQueue {
         }
     }
 
-    fn lock(&self) -> MutexGuard<'_, QueueState> {
+    fn lock(&self) -> MutexGuard<'_, QueueState<T>> {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Claim the next iteration to plan, blocking while the window is
     /// full. Returns `None` once there is nothing left to plan (epoch
     /// end, iteration cap, or cancellation).
-    fn claim<D: std::ops::Deref<Target = Dataset>>(
+    pub fn claim<D: std::ops::Deref<Target = Dataset>>(
         &self,
         stream: &BatchStream<D>,
     ) -> Option<(usize, Vec<Sample>)> {
@@ -421,7 +514,7 @@ impl PlanAheadQueue {
     }
 
     /// Deliver a planned iteration (worker side).
-    fn complete(&self, index: usize, planned: PlannedIteration) {
+    pub fn complete(&self, index: usize, planned: T) {
         let mut st = self.lock();
         if st.cancelled {
             return; // speculative work past a failure: discard
@@ -443,7 +536,7 @@ impl PlanAheadQueue {
     /// Re-raises if a planner worker panicked: its claimed ticket will
     /// never arrive, and waiting on would deadlock (the worker's own
     /// panic surfaces when the scope joins it).
-    fn wait_for(&self, index: usize) -> WaitOutcome {
+    pub fn wait_for(&self, index: usize) -> WaitOutcome<T> {
         let mut st = self.lock();
         loop {
             if st.worker_panicked {
@@ -466,14 +559,14 @@ impl PlanAheadQueue {
 
     /// Release iteration `index`'s window slot so the planner pool may
     /// claim another ticket.
-    fn advance(&self, index: usize) {
+    pub fn advance(&self, index: usize) {
         let mut st = self.lock();
         st.next_consume = index + 1;
         self.cv.notify_all();
     }
 
     /// Stop the planner pool (failure or normal teardown).
-    fn cancel(&self) {
+    pub fn cancel(&self) {
         let mut st = self.lock();
         st.cancelled = true;
         self.cv.notify_all();
@@ -481,14 +574,15 @@ impl PlanAheadQueue {
 
     /// Poison the queue from a panicking worker's unwind path: wake the
     /// executor so it re-raises, and stop the other workers.
-    fn poison(&self) {
+    pub fn poison(&self) {
         let mut st = self.lock();
         st.worker_panicked = true;
         st.cancelled = true;
         self.cv.notify_all();
     }
 
-    fn max_ready(&self) -> usize {
+    /// High-water mark of planned-but-unconsumed iterations.
+    pub fn max_ready(&self) -> usize {
         self.lock().max_ready
     }
 }
@@ -500,13 +594,31 @@ impl PlanAheadQueue {
 /// and, store-backed, the store, so an executor blocked in
 /// `take_blocking` fails too — so the executor re-raises and the panic
 /// propagates through the scope join.
-struct TicketGuard<'a> {
-    queue: &'a PlanAheadQueue,
+pub struct TicketGuard<'a, T> {
+    queue: &'a PlanAheadQueue<T>,
     store: Option<&'a InstructionStore>,
     armed: bool,
 }
 
-impl Drop for TicketGuard<'_> {
+impl<'a, T> TicketGuard<'a, T> {
+    /// Arm a guard for a freshly claimed ticket; pass the store when the
+    /// run is store-backed so a panic poisons it too.
+    pub fn new(queue: &'a PlanAheadQueue<T>, store: Option<&'a InstructionStore>) -> Self {
+        TicketGuard {
+            queue,
+            store,
+            armed: true,
+        }
+    }
+
+    /// Disarm after the ticket was completed: the worker fulfilled its
+    /// promise, so an unwind past this point poisons nothing.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl<T> Drop for TicketGuard<'_, T> {
     fn drop(&mut self) {
         if self.armed {
             if let Some(store) = self.store {
@@ -767,76 +879,46 @@ pub fn run_training_pipelined(
                     .expect("planner worker pool");
                 pool.install(|| {
                     while let Some((index, batch)) = queue.claim(stream) {
-                        let mut guard = TicketGuard {
-                            queue,
-                            store,
-                            armed: true,
-                        };
-                        let t_plan = Instant::now();
-                        let planned = planner.plan(&batch);
-                        let plan_us = t_plan.elapsed().as_secs_f64() * 1e6;
-                        let t_lower = Instant::now();
-                        // The lowering stage: compile on the worker so the
-                        // executor receives ready-to-run programs.
-                        let (payload, lower_us) = match store {
+                        let guard = TicketGuard::new(queue, store);
+                        // The lowering stage runs on the worker either
+                        // way, so the executor receives ready-to-run
+                        // programs.
+                        let planned = match store {
                             None => {
+                                let t_plan = Instant::now();
+                                let planned = planner.plan(&batch);
+                                let plan_us = t_plan.elapsed().as_secs_f64() * 1e6;
+                                let t_lower = Instant::now();
                                 let outcome = planned.map(|p| lower_iteration(cm, p));
                                 let lower_us = t_lower.elapsed().as_secs_f64() * 1e6;
-                                (PlannedPayload::InProcess(Box::new(outcome)), lower_us)
+                                PlannedIteration {
+                                    payload: PlannedPayload::InProcess(Box::new(outcome)),
+                                    plan_us,
+                                    lower_us,
+                                    ready_at_us: t0.elapsed().as_secs_f64() * 1e6,
+                                }
                             }
                             Some(store) => {
-                                // Lower to *owned* programs: they are about
-                                // to cross the wire, so sharing buys nothing.
-                                let outcome = match planned {
-                                    Ok(plan) => {
-                                        let programs = plan
-                                            .replicas
-                                            .iter()
-                                            .map(|r| {
-                                                crate::compile::compile_replica(cm, &r.plan)
-                                            })
-                                            .collect();
-                                        StoredOutcome::Plan(StoredLowered { plan, programs })
-                                    }
-                                    Err(e) => StoredOutcome::Failed(e),
-                                };
-                                let lower_us = t_lower.elapsed().as_secs_f64() * 1e6;
-                                let t_ser = Instant::now();
-                                let blob = StoredPlan {
-                                    iteration: index,
-                                    outcome,
-                                }
-                                .encode();
-                                let blob_bytes = blob.len();
-                                // Window slots count store occupancy, so a
-                                // healthy run never blocks here; a timeout
-                                // means the executor died, and the panic
-                                // poisons the queue via the guard.
-                                store
-                                    .push_blocking(index, blob, STORE_WAIT)
-                                    .unwrap_or_else(|e| {
-                                        panic!("instruction store push failed: {e}")
-                                    });
-                                let serialize_us = t_ser.elapsed().as_secs_f64() * 1e6;
-                                (
-                                    PlannedPayload::Stored {
-                                        serialize_us,
-                                        blob_bytes,
+                                let push = plan_lower_push(
+                                    planner,
+                                    store,
+                                    config.codec,
+                                    index,
+                                    &batch,
+                                );
+                                PlannedIteration {
+                                    payload: PlannedPayload::Stored {
+                                        serialize_us: push.serialize_us,
+                                        blob_bytes: push.blob_bytes,
                                     },
-                                    lower_us,
-                                )
+                                    plan_us: push.plan_us,
+                                    lower_us: push.lower_us,
+                                    ready_at_us: t0.elapsed().as_secs_f64() * 1e6,
+                                }
                             }
                         };
-                        queue.complete(
-                            index,
-                            PlannedIteration {
-                                payload,
-                                plan_us,
-                                lower_us,
-                                ready_at_us: t0.elapsed().as_secs_f64() * 1e6,
-                            },
-                        );
-                        guard.armed = false;
+                        queue.complete(index, planned);
+                        guard.disarm();
                     }
                 });
             });
@@ -917,7 +999,7 @@ pub fn run_training_pipelined(
                                 .take_blocking(it, STORE_WAIT)
                                 .map_err(|e| format!("take: {e}"))
                                 .and_then(|blob| {
-                                    StoredPlan::decode(&blob)
+                                    StoredPlan::decode(config.codec, &blob)
                                         .map_err(|e| format!("decode: {e}"))
                                 });
                             // Blob out of the store: the window slot is free.
@@ -1211,6 +1293,7 @@ mod tests {
                 plan_ahead: 2,
                 workers: 2,
                 distribution: PlanDistribution::StoreBacked,
+                ..Default::default()
             },
         );
         serial.behavior_eq(&pipelined).unwrap();

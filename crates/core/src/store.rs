@@ -9,10 +9,19 @@
 //! replacing the transport with a sharded in-process map:
 //!
 //! * **keyed blobs** — plans travel as serialized [`StoredPlan`] wire
-//!   blobs, never as shared pointers, so the store models a real process
-//!   boundary: everything an executor needs must survive encode/decode
-//!   (pinned bit-exactly by `tests/serialization.rs` and the differential
-//!   harness in `crates/core/tests/runtime_equivalence.rs`);
+//!   blobs (opaque byte strings), never as shared pointers, so the store
+//!   models a real process boundary: everything an executor needs must
+//!   survive encode/decode (pinned bit-exactly by
+//!   `tests/serialization.rs` and the differential harness in
+//!   `crates/core/tests/runtime_equivalence.rs`). The store is
+//!   **codec-agnostic**: a blob is `Vec<u8>` in and [`Arc<[u8]>`] out,
+//!   and the choice of wire encoding — self-describing JSON or the
+//!   length-prefixed binary codec — lives entirely in
+//!   [`crate::codec::PlanCodec`], which [`StoredPlan::encode`] /
+//!   [`StoredPlan::decode`] take explicitly. Pusher and taker must agree
+//!   on the codec out of band (the runtime carries it in
+//!   `RuntimeConfig`, the cluster layer in its `ClusterConfig`), exactly
+//!   as two processes sharing a Redis instance would;
 //! * **capacity backpressure** — [`InstructionStore::push_blocking`]
 //!   blocks while the store is at capacity, the put-side analogue of the
 //!   runtime's bounded plan-ahead window. When the pipelined runtime runs
@@ -122,8 +131,9 @@ pub struct StoreConfig {
 
 /// What a shard slot holds.
 enum Slot {
-    /// A serialized plan blob, shared so `fetch` never copies.
-    Blob(Arc<str>),
+    /// A serialized plan blob (opaque bytes), shared so `fetch` never
+    /// copies.
+    Blob(Arc<[u8]>),
     /// The blob was consumed; the key must never be filled again.
     Tombstone,
 }
@@ -376,7 +386,7 @@ impl InstructionStore {
     /// unsigned atomics. (Gate operations stay outside the shard lock —
     /// the taker wait path acquires gate → shard-read, so shard → gate
     /// here would be a lock-order cycle.)
-    fn insert_reserved(&self, iteration: usize, blob: &str) -> Result<(), StoreError> {
+    fn insert_reserved(&self, iteration: usize, blob: &[u8]) -> Result<(), StoreError> {
         let shard = self.shard(iteration);
         let nbytes = blob.len() as u64;
         {
@@ -410,7 +420,7 @@ impl InstructionStore {
     /// [`StoreError::CapacityTimeout`] if the store is at capacity,
     /// [`StoreError::DuplicateKey`] if the key is live, and
     /// [`StoreError::Consumed`] if the key was already taken.
-    pub fn push(&self, iteration: usize, blob: String) -> Result<(), StoreError> {
+    pub fn push(&self, iteration: usize, blob: Vec<u8>) -> Result<(), StoreError> {
         self.reserve_slot(None)?;
         self.insert_reserved(iteration, &blob)
     }
@@ -420,7 +430,7 @@ impl InstructionStore {
     pub fn push_blocking(
         &self,
         iteration: usize,
-        blob: String,
+        blob: Vec<u8>,
         timeout: Duration,
     ) -> Result<(), StoreError> {
         let deadline = Instant::now() + timeout;
@@ -443,8 +453,8 @@ impl InstructionStore {
     pub fn replace(
         &self,
         iteration: usize,
-        blob: String,
-    ) -> Result<Option<Arc<str>>, StoreError> {
+        blob: Vec<u8>,
+    ) -> Result<Option<Arc<[u8]>>, StoreError> {
         let shard = self.shard(iteration);
         let nbytes = blob.len() as u64;
         loop {
@@ -454,7 +464,7 @@ impl InstructionStore {
                 match map.get(&iteration) {
                     Some(Slot::Tombstone) => return Err(StoreError::Consumed(iteration)),
                     Some(Slot::Blob(_)) => {
-                        let old = match map.insert(iteration, Slot::Blob(Arc::from(&*blob))) {
+                        let old = match map.insert(iteration, Slot::Blob(Arc::from(&blob[..]))) {
                             Some(Slot::Blob(b)) => b,
                             _ => unreachable!("checked live above"),
                         };
@@ -491,7 +501,7 @@ impl InstructionStore {
 
     /// Fetch a blob without consuming it (executor prefetch). A consumed
     /// key reads as absent.
-    pub fn fetch(&self, iteration: usize) -> Option<Arc<str>> {
+    pub fn fetch(&self, iteration: usize) -> Option<Arc<[u8]>> {
         let shard = self.shard(iteration);
         let map = shard.map.read();
         match map.get(&iteration) {
@@ -507,7 +517,7 @@ impl InstructionStore {
         }
     }
 
-    fn take_inner(&self, iteration: usize, count_miss: bool) -> Result<Option<Arc<str>>, StoreError> {
+    fn take_inner(&self, iteration: usize, count_miss: bool) -> Result<Option<Arc<[u8]>>, StoreError> {
         self.check_poison()?;
         let shard = self.shard(iteration);
         let taken = {
@@ -551,7 +561,7 @@ impl InstructionStore {
     /// Take (fetch and delete) a blob, leaving a tombstone — executor
     /// consumption. `Ok(None)` means the plan has not arrived yet;
     /// [`StoreError::Consumed`] means it was already taken.
-    pub fn take(&self, iteration: usize) -> Result<Option<Arc<str>>, StoreError> {
+    pub fn take(&self, iteration: usize) -> Result<Option<Arc<[u8]>>, StoreError> {
         self.take_inner(iteration, true)
     }
 
@@ -564,7 +574,7 @@ impl InstructionStore {
         &self,
         iteration: usize,
         timeout: Duration,
-    ) -> Result<Arc<str>, StoreError> {
+    ) -> Result<Arc<[u8]>, StoreError> {
         let deadline = Instant::now() + timeout;
         let mut first = true;
         loop {
@@ -714,17 +724,22 @@ pub struct StoredPlan {
 }
 
 impl StoredPlan {
-    /// Serialize to the wire format. Encoding is deterministic and
-    /// float-exact (shortest-roundtrip formatting), so
-    /// `decode(encode(p)).encode() == encode(p)` bit for bit — the
-    /// property the differential harness leans on.
-    pub fn encode(&self) -> String {
-        serde_json::to_string(self).expect("plan wire encoding is infallible")
+    /// Serialize to wire bytes with the given codec. Encoding is
+    /// deterministic and float-exact for every codec (JSON via
+    /// shortest-roundtrip formatting, binary via raw bit patterns), so
+    /// `decode(codec, encode(codec)).encode(codec) == encode(codec)` bit
+    /// for bit — the property the differential harness leans on.
+    pub fn encode(&self, codec: crate::codec::PlanCodec) -> Vec<u8> {
+        codec.encode_value(&serde::Serialize::to_value(self))
     }
 
-    /// Deserialize from the wire format.
-    pub fn decode(blob: &str) -> Result<StoredPlan, serde::Error> {
-        serde_json::from_str(blob)
+    /// Deserialize from wire bytes produced with the *same* codec (the
+    /// codec travels out of band; a mismatched blob fails loudly).
+    pub fn decode(
+        codec: crate::codec::PlanCodec,
+        blob: &[u8],
+    ) -> Result<StoredPlan, serde::Error> {
+        serde::Deserialize::from_value(&codec.decode_value(blob)?)
     }
 }
 
@@ -734,8 +749,8 @@ mod tests {
     use std::sync::Arc;
     use std::time::Duration;
 
-    fn blob(i: usize) -> String {
-        format!("{{\"plan\":{i}}}")
+    fn blob(i: usize) -> Vec<u8> {
+        format!("{{\"plan\":{i}}}").into_bytes()
     }
 
     #[test]
@@ -747,7 +762,7 @@ mod tests {
         assert_eq!(store.len(), 2);
         assert!(store.fetch(3).is_some());
         assert_eq!(store.len(), 2, "fetch does not consume");
-        assert_eq!(&*store.take(3).unwrap().unwrap(), blob(3).as_str());
+        assert_eq!(&*store.take(3).unwrap().unwrap(), blob(3).as_slice());
         assert_eq!(store.len(), 1);
         assert!(store.fetch(99).is_none());
         let st = store.stats();
@@ -762,11 +777,11 @@ mod tests {
         // did — a duplicate planner ticket would clobber a plan).
         let store = InstructionStore::new();
         store.push(7, blob(7)).unwrap();
-        assert_eq!(store.push(7, "other".into()), Err(StoreError::DuplicateKey(7)));
-        assert_eq!(&*store.fetch(7).unwrap(), blob(7).as_str(), "push must not clobber");
-        let old = store.replace(7, "other".into()).unwrap();
-        assert_eq!(&*old.unwrap(), blob(7).as_str());
-        assert_eq!(&*store.fetch(7).unwrap(), "other");
+        assert_eq!(store.push(7, b"other".to_vec()), Err(StoreError::DuplicateKey(7)));
+        assert_eq!(&*store.fetch(7).unwrap(), blob(7).as_slice(), "push must not clobber");
+        let old = store.replace(7, b"other".to_vec()).unwrap();
+        assert_eq!(&*old.unwrap(), blob(7).as_slice());
+        assert_eq!(&*store.fetch(7).unwrap(), b"other");
         assert_eq!(store.len(), 1);
         // Replace of an absent key inserts.
         assert!(store.replace(8, blob(8)).unwrap().is_none());
@@ -809,7 +824,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         assert!(store.take(0).unwrap().is_some());
         pusher.join().unwrap().unwrap();
-        assert_eq!(&*store.fetch(1).unwrap(), blob(1).as_str());
+        assert_eq!(&*store.fetch(1).unwrap(), blob(1).as_slice());
         assert_eq!(store.stats().peak_occupancy, 1);
     }
 
@@ -831,7 +846,7 @@ mod tests {
         });
         std::thread::sleep(Duration::from_millis(10));
         store.push(9, blob(9)).unwrap();
-        assert_eq!(&*taker.join().unwrap(), blob(9).as_str());
+        assert_eq!(&*taker.join().unwrap(), blob(9).as_slice());
         assert!(store.is_empty());
     }
 

@@ -14,8 +14,8 @@
 
 use dynapipe_core::{
     run_training, run_training_pipelined, BaselineKind, BaselinePlanner, DynaPipePlanner,
-    IterationPlanner, PlanDistribution, PlannerConfig, RunConfig, RunReport, RuntimeConfig,
-    RuntimeStats,
+    IterationPlanner, PlanCodec, PlanDistribution, PlannerConfig, RunConfig, RunReport,
+    RuntimeConfig, RuntimeStats,
 };
 use dynapipe_cost::{CostModel, ProfileOptions};
 use dynapipe_data::{Dataset, GlobalBatchConfig, Sample};
@@ -39,10 +39,11 @@ fn gbs() -> GlobalBatchConfig {
     }
 }
 
-/// Run both pipelined modes against the serial reference and pin the
-/// whole matrix: in-process == serial, store-backed == serial, and
-/// store-backed == in-process (transitively implied, asserted anyway so
-/// a failure names the closest pair). Returns the two stats for
+/// Run every pipelined mode against the serial reference and pin the
+/// whole matrix: in-process == serial, store-backed == serial for
+/// **both wire codecs**, and store-backed == in-process (transitively
+/// implied, asserted anyway so a failure names the closest pair).
+/// Returns the in-process stats and the JSON-codec store stats for
 /// scenario-specific assertions.
 fn assert_distribution_matrix(
     planner: &dyn IterationPlanner,
@@ -62,46 +63,56 @@ fn assert_distribution_matrix(
             plan_ahead,
             workers,
             distribution: PlanDistribution::InProcess,
+            codec: PlanCodec::default(),
         },
     );
     serial
         .behavior_eq(&in_process)
         .unwrap_or_else(|e| panic!("in-process vs serial (w={plan_ahead},{workers}): {e}"));
-    let (store_backed, sb_stats) = run_training_pipelined(
-        planner,
-        dataset,
-        gbs,
-        run,
-        RuntimeConfig {
-            plan_ahead,
-            workers,
-            distribution: PlanDistribution::StoreBacked,
-        },
-    );
-    serial
-        .behavior_eq(&store_backed)
-        .unwrap_or_else(|e| panic!("store-backed vs serial (w={plan_ahead},{workers}): {e}"));
-    in_process
-        .behavior_eq(&store_backed)
-        .unwrap_or_else(|e| panic!("store-backed vs in-process (w={plan_ahead},{workers}): {e}"));
-    // Store invariants that hold in every scenario: teardown leaves no
-    // orphaned blobs, and the plan-ahead window bounds store occupancy.
-    let store = sb_stats
-        .store
-        .as_ref()
-        .expect("store-backed runs snapshot the store");
-    assert_eq!(store.occupancy, 0, "orphaned blobs after teardown");
-    assert_eq!(store.bytes, 0, "leaked bytes after teardown");
-    assert!(
-        store.peak_occupancy <= plan_ahead,
-        "store occupancy {} exceeded the plan-ahead window {plan_ahead}",
-        store.peak_occupancy
-    );
-    assert!(
-        store.per_shard.iter().all(|s| s.occupancy == 0 && s.bytes == 0),
-        "per-shard counters must reconcile to zero"
-    );
-    (ip_stats, sb_stats)
+    let mut json_stats = None;
+    for codec in PlanCodec::ALL {
+        let label = codec.label();
+        let (store_backed, sb_stats) = run_training_pipelined(
+            planner,
+            dataset,
+            gbs,
+            run,
+            RuntimeConfig {
+                plan_ahead,
+                workers,
+                distribution: PlanDistribution::StoreBacked,
+                codec,
+            },
+        );
+        serial.behavior_eq(&store_backed).unwrap_or_else(|e| {
+            panic!("store-backed/{label} vs serial (w={plan_ahead},{workers}): {e}")
+        });
+        in_process.behavior_eq(&store_backed).unwrap_or_else(|e| {
+            panic!("store-backed/{label} vs in-process (w={plan_ahead},{workers}): {e}")
+        });
+        // Store invariants that hold in every scenario: teardown leaves
+        // no orphaned blobs, and the plan-ahead window bounds store
+        // occupancy.
+        let store = sb_stats
+            .store
+            .as_ref()
+            .expect("store-backed runs snapshot the store");
+        assert_eq!(store.occupancy, 0, "orphaned blobs after teardown ({label})");
+        assert_eq!(store.bytes, 0, "leaked bytes after teardown ({label})");
+        assert!(
+            store.peak_occupancy <= plan_ahead,
+            "store occupancy {} exceeded the plan-ahead window {plan_ahead} ({label})",
+            store.peak_occupancy
+        );
+        assert!(
+            store.per_shard.iter().all(|s| s.occupancy == 0 && s.bytes == 0),
+            "per-shard counters must reconcile to zero ({label})"
+        );
+        if codec == PlanCodec::Json {
+            json_stats = Some(sb_stats);
+        }
+    }
+    (ip_stats, json_stats.expect("JSON arm ran"))
 }
 
 #[test]

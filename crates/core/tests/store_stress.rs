@@ -5,7 +5,11 @@
 //! timeouts and any `Timeout`/`CapacityTimeout` fails the test) — a
 //! deadlock shows up as a loud timeout, never as a hung test run — and
 //! when the dust settles every plan must have been taken exactly once
-//! with all counters reconciled to zero.
+//! with all counters reconciled to zero. The network-delayed variants
+//! stagger each pusher's arrival behind a key-derived "wire" delay (slow
+//! planner uplinks in the cluster deployment), so push order races
+//! arrival order: exactly-once, FIFO capacity fairness and
+//! poison-release must all hold regardless.
 
 use dynapipe_core::{InstructionStore, StoreError};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -16,8 +20,8 @@ use std::time::Duration;
 /// store lost a wakeup or deadlocked.
 const WAIT: Duration = Duration::from_secs(60);
 
-fn blob_for(key: usize) -> String {
-    format!("{{\"iteration\":{key},\"payload\":\"plan-{key}\"}}")
+fn blob_for(key: usize) -> Vec<u8> {
+    format!("{{\"iteration\":{key},\"payload\":\"plan-{key}\"}}").into_bytes()
 }
 
 #[test]
@@ -73,7 +77,7 @@ fn pushers_and_takers_interleave_without_loss_or_deadlock() {
                 let blob = store
                     .take_blocking(key, WAIT)
                     .unwrap_or_else(|e| panic!("take {key}: {e}"));
-                assert_eq!(&*blob, blob_for(key).as_str(), "blob {key} corrupted");
+                assert_eq!(&*blob, blob_for(key).as_slice(), "blob {key} corrupted");
                 taken[key].fetch_add(1, Ordering::SeqCst);
             });
         }
@@ -133,7 +137,7 @@ fn capacity_one_pipeline_drains_in_order() {
                 let blob = st
                     .take_blocking(key, WAIT)
                     .unwrap_or_else(|e| panic!("take {key}: {e}"));
-                assert_eq!(&*blob, blob_for(key).as_str());
+                assert_eq!(&*blob, blob_for(key).as_slice());
             }
         });
     });
@@ -142,6 +146,131 @@ fn capacity_one_pipeline_drains_in_order() {
     assert_eq!(stats.takes, KEYS as u64);
     assert_eq!(stats.occupancy, 0);
     assert_eq!(stats.bytes, 0);
+}
+
+/// Deterministic per-key "network" delay (ms): emulates planner hosts
+/// pushing over links of different speeds, so the order blobs *arrive*
+/// at the store races the order they were *produced* in.
+fn link_delay_ms(key: usize) -> u64 {
+    ((key * 37 + 11) % 7) as u64
+}
+
+#[test]
+fn network_delayed_pushers_preserve_exactly_once_and_fairness() {
+    // Multi-host version of the interleaving stress: each pusher sleeps
+    // a key-derived delay before pushing (slow uplinks), so a blob
+    // claimed earlier routinely lands later than its successors. The
+    // store must not care: exactly-once consumption, a continuously
+    // engaged FIFO capacity gate that no late-arriving pusher can starve,
+    // and counters reconciling to zero.
+    const PUSHERS: usize = 4;
+    const TAKERS: usize = 3;
+    const KEYS: usize = 80;
+    const CAPACITY: usize = 4;
+
+    let store = Arc::new(InstructionStore::with_capacity(CAPACITY));
+    for key in 0..CAPACITY {
+        store.push(key, blob_for(key)).unwrap();
+    }
+    let push_next = Arc::new(AtomicUsize::new(CAPACITY));
+    let take_next = Arc::new(AtomicUsize::new(0));
+    let taken: Arc<Vec<AtomicUsize>> =
+        Arc::new((0..KEYS).map(|_| AtomicUsize::new(0)).collect());
+    std::thread::scope(|s| {
+        for _ in 0..PUSHERS {
+            let store = store.clone();
+            let push_next = push_next.clone();
+            s.spawn(move || loop {
+                let key = push_next.fetch_add(1, Ordering::SeqCst);
+                if key >= KEYS {
+                    return;
+                }
+                // The "wire": arrival time is decoupled from claim time.
+                std::thread::sleep(Duration::from_millis(link_delay_ms(key)));
+                store
+                    .push_blocking(key, blob_for(key), WAIT)
+                    .unwrap_or_else(|e| panic!("push {key}: {e}"));
+            });
+        }
+        for _ in 0..TAKERS {
+            let store = store.clone();
+            let take_next = take_next.clone();
+            let taken = taken.clone();
+            s.spawn(move || loop {
+                let key = take_next.fetch_add(1, Ordering::SeqCst);
+                if key >= KEYS {
+                    return;
+                }
+                let blob = store
+                    .take_blocking(key, WAIT)
+                    .unwrap_or_else(|e| panic!("take {key}: {e}"));
+                assert_eq!(&*blob, blob_for(key).as_slice(), "blob {key} corrupted");
+                taken[key].fetch_add(1, Ordering::SeqCst);
+            });
+        }
+    });
+
+    for (key, count) in taken.iter().enumerate() {
+        assert_eq!(
+            count.load(Ordering::SeqCst),
+            1,
+            "plan {key} must be taken exactly once despite delayed arrival"
+        );
+    }
+    let stats = store.stats();
+    assert_eq!(stats.pushes, KEYS as u64);
+    assert_eq!(stats.takes, KEYS as u64);
+    assert_eq!(stats.occupancy, 0, "occupancy must reconcile to zero");
+    assert_eq!(stats.bytes, 0, "byte accounting must reconcile to zero");
+    assert!(
+        stats.per_shard.iter().all(|s| s.occupancy == 0 && s.bytes == 0),
+        "per-shard counters must reconcile to zero"
+    );
+    assert!(
+        stats.peak_occupancy <= CAPACITY,
+        "capacity must never be exceeded: peak {} > {CAPACITY}",
+        stats.peak_occupancy
+    );
+    // Pre-filled to the cap before any taker ran, so the FIFO gate was
+    // provably engaged while arrivals raced.
+    assert_eq!(stats.peak_occupancy, CAPACITY);
+    for key in [0usize, 41, KEYS - 1] {
+        assert_eq!(store.take(key), Err(StoreError::Consumed(key)));
+    }
+}
+
+#[test]
+fn poison_releases_network_delayed_pushers() {
+    // A planner crash must release *everything*: pushers already blocked
+    // in the capacity gate, pushers still "on the wire" (sleeping before
+    // their push), and takers waiting on keys that will never arrive —
+    // no matter how push order races arrival order.
+    let store = Arc::new(InstructionStore::with_capacity(1));
+    store.push(0, blob_for(0)).unwrap();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for key in 1..6usize {
+            let st = store.clone();
+            handles.push(s.spawn(move || {
+                // Staggered arrivals: some pushers hit the full store
+                // before the poison, some after.
+                std::thread::sleep(Duration::from_millis(10 * key as u64));
+                st.push_blocking(key, blob_for(key), WAIT).map(|_| ())
+            }));
+        }
+        for key in 100..103usize {
+            let st = store.clone();
+            handles.push(s.spawn(move || st.take_blocking(key, WAIT).map(|_| ())));
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        store.poison("planner host lost");
+        for h in handles {
+            match h.join().unwrap() {
+                Err(StoreError::Poisoned(reason)) => assert!(reason.contains("lost")),
+                other => panic!("expected Poisoned, got {other:?}"),
+            }
+        }
+    });
 }
 
 #[test]

@@ -32,11 +32,13 @@
 
 pub mod channel;
 pub mod engine;
+pub mod link;
 pub mod memory;
 pub mod op;
 pub mod trace;
 
 pub use engine::{Engine, EngineConfig, JitterConfig, SimError, SimResult};
+pub use link::{Link, LinkModel};
 pub use memory::{AllocatorMode, AllocatorStats, CachingAllocator, MemoryTracker};
 pub use op::{AllocSpec, CommDir, DeviceProgram, OpLabel, SimOp};
 pub use trace::{TraceEvent, TraceKind};

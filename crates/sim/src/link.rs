@@ -1,0 +1,162 @@
+//! Point-to-point network links with α-β (latency + bandwidth) cost and
+//! FIFO occupancy — the wire model under the cluster layer's plan
+//! distribution.
+//!
+//! The GPU-side communication in this crate ([`crate::channel`]) matches
+//! send/recv pairs inside one training job; this module models the
+//! *control-plane* hops of the paper's Fig. 9 deployment instead: a
+//! planner host pushing a serialized plan blob to the instruction store,
+//! and an executor host fetching it. Both are single-direction bulk
+//! transfers, so the same α-β form the hardware model uses for
+//! inter-node tensor traffic applies: a transfer of `n` bytes costs
+//! `latency_us + n / bandwidth`.
+//!
+//! [`Link`] adds what a cost formula alone cannot express: **FIFO
+//! occupancy**. A link carries one transfer at a time; a blob that
+//! arrives while the link is busy queues behind the previous one, so
+//! burst pushes (a planner pool finishing several iterations at once)
+//! serialize on the wire instead of teleporting. `transmit` is
+//! deterministic given its inputs — the cluster layer drives it with
+//! timeline timestamps and reports the resulting wire time per host.
+
+/// α-β cost model of one network hop (latency in µs, bandwidth in
+/// bytes/µs — the same units as
+/// `dynapipe_model::HardwareModel::inter_node_bw`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Per-transfer latency (α), µs.
+    pub latency_us: f64,
+    /// Sustained bandwidth (β), bytes/µs.
+    pub bandwidth: f64,
+}
+
+impl LinkModel {
+    /// A link over which transfers are free — the degenerate topology
+    /// where both endpoints are the same host.
+    pub fn local() -> Self {
+        LinkModel {
+            latency_us: 0.0,
+            bandwidth: f64::INFINITY,
+        }
+    }
+
+    /// Whether transfers over this link cost nothing.
+    pub fn is_local(&self) -> bool {
+        self.latency_us == 0.0 && self.bandwidth.is_infinite()
+    }
+
+    /// Time for one `bytes`-sized transfer on an idle link (µs).
+    pub fn transfer_us(&self, bytes: u64) -> f64 {
+        self.latency_us + bytes as f64 / self.bandwidth
+    }
+}
+
+/// One directed link with FIFO occupancy: transfers queue behind each
+/// other, never overlap.
+#[derive(Debug, Clone)]
+pub struct Link {
+    model: LinkModel,
+    busy_until_us: f64,
+    /// Total bytes ever transmitted.
+    bytes: u64,
+    /// Total transfers ever transmitted.
+    transfers: u64,
+    /// Σ (arrival − start) across transfers: wire time including
+    /// queueing, µs.
+    wire_us: f64,
+}
+
+impl Link {
+    /// An idle link with the given cost model.
+    pub fn new(model: LinkModel) -> Self {
+        Link {
+            model,
+            busy_until_us: 0.0,
+            bytes: 0,
+            transfers: 0,
+            wire_us: 0.0,
+        }
+    }
+
+    /// The link's cost model.
+    pub fn model(&self) -> LinkModel {
+        self.model
+    }
+
+    /// Transmit `bytes` starting no earlier than `start_us`; returns the
+    /// arrival time at the far end (µs). The link is occupied for the
+    /// whole transfer, so a transfer issued while the link is busy
+    /// starts when the previous one drains (FIFO). A
+    /// [`LinkModel::local`] link is not a serializing resource — both
+    /// endpoints share host memory — so transfers pass through untimed
+    /// and uncounted.
+    pub fn transmit(&mut self, start_us: f64, bytes: u64) -> f64 {
+        if self.model.is_local() {
+            return start_us;
+        }
+        let begin = start_us.max(self.busy_until_us);
+        let arrival = begin + self.model.transfer_us(bytes);
+        self.busy_until_us = arrival;
+        self.bytes += bytes;
+        self.transfers += 1;
+        self.wire_us += arrival - start_us;
+        arrival
+    }
+
+    /// Total bytes transmitted so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total transfers so far.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Total wire time (transfer + queueing) accumulated so far, µs.
+    pub fn wire_us(&self) -> f64 {
+        self.wire_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_beta_cost() {
+        let m = LinkModel {
+            latency_us: 10.0,
+            bandwidth: 100.0,
+        };
+        assert_eq!(m.transfer_us(0), 10.0);
+        assert_eq!(m.transfer_us(1000), 20.0);
+    }
+
+    #[test]
+    fn local_link_is_free() {
+        let mut l = Link::new(LinkModel::local());
+        assert!(l.model().is_local());
+        assert_eq!(l.transmit(5.0, 1 << 30), 5.0);
+        assert_eq!(l.wire_us(), 0.0);
+    }
+
+    #[test]
+    fn fifo_occupancy_queues_bursts() {
+        let m = LinkModel {
+            latency_us: 5.0,
+            bandwidth: 1.0,
+        };
+        let mut l = Link::new(m);
+        // Two 10-byte blobs issued at the same instant: the second waits
+        // for the first to drain.
+        assert_eq!(l.transmit(0.0, 10), 15.0);
+        assert_eq!(l.transmit(0.0, 10), 30.0);
+        // A transfer issued after the link idles starts immediately.
+        assert_eq!(l.transmit(100.0, 10), 115.0);
+        assert_eq!(l.bytes(), 30);
+        assert_eq!(l.transfers(), 3);
+        // Wire time counts queueing: 15 + 30 + 15.
+        assert_eq!(l.wire_us(), 60.0);
+    }
+}

@@ -28,6 +28,7 @@
 //! | [`schedule`](dynapipe_schedule) | 1F1B, memory-aware adaptive schedule, reordering |
 //! | [`comm`](dynapipe_comm) | pipeline instructions, communication planning, deadlock verification |
 //! | [`core`](dynapipe_core) | planner, executor binding, training driver, grid search |
+//! | [`cluster`](dynapipe_cluster) | simulated multi-host Fig. 9 deployment (planner hosts → store → executor hosts) |
 //!
 //! ## Quickstart
 //!
@@ -57,6 +58,7 @@
 //! ```
 
 pub use dynapipe_batcher as batcher;
+pub use dynapipe_cluster as cluster;
 pub use dynapipe_comm as comm;
 pub use dynapipe_core as core;
 pub use dynapipe_cost as cost;

@@ -2,15 +2,18 @@
 //! distributed instruction store in the real system (§3) — and, since
 //! the store-backed runtime, in this reproduction too — so every plan
 //! artifact must survive serde exactly. The property tests below pin the
-//! full [`dynapipe_core::StoredPlan`] wire format bitwise: arbitrary
-//! lowered plans (random sample shapes, recompute modes, dp degrees)
-//! must encode/decode to an identical value *and* an identical
-//! re-encoding, and an engine over the deserialized programs must run
-//! bit-identically to one over the original shared-`Arc` programs.
+//! full [`dynapipe_core::StoredPlan`] wire format bitwise **under both
+//! codecs** ([`PlanCodec::Json`] and the length-prefixed
+//! [`PlanCodec::Binary`]): arbitrary lowered plans (random sample
+//! shapes, recompute modes, dp degrees) must encode/decode to an
+//! identical value *and* an identical re-encoding in each codec,
+//! cross-decode equal across codecs, and an engine over the deserialized
+//! programs must run bit-identically to one over the original
+//! shared-`Arc` programs.
 
 use dynapipe_core::{
-    compile_replica, runtime::replica_engine_config, RunConfig, StoredLowered, StoredOutcome,
-    StoredPlan,
+    compile_replica, runtime::replica_engine_config, PlanCodec, RunConfig, StoredLowered,
+    StoredOutcome, StoredPlan,
 };
 use dynapipe_repro::prelude::*;
 use dynapipe_sim::{DeviceProgram, OpLabel, SimOp};
@@ -132,7 +135,7 @@ proptest! {
     #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
 
     #[test]
-    fn stored_plan_roundtrip_is_bitwise(
+    fn stored_plan_roundtrip_is_bitwise_in_both_codecs(
         samples in arb_samples(24, 1024),
         planner_idx in 0usize..3,
         mode_idx in 0usize..3,
@@ -145,26 +148,48 @@ proptest! {
             iteration,
             outcome: StoredOutcome::Plan(lowered),
         };
-        let wire = stored.encode();
-        let decoded = StoredPlan::decode(&wire).expect("wire blob decodes");
-        // Value equality, then the stronger bitwise check: deterministic
-        // shortest-roundtrip float formatting means a bit-exact decode
-        // re-encodes to the identical byte string.
-        prop_assert_eq!(&decoded, &stored);
-        prop_assert_eq!(decoded.encode(), wire);
-        // Spot-check float bit patterns explicitly (PartialEq alone
-        // would accept 0.0 vs -0.0).
-        let (a, b) = match (&stored.outcome, &decoded.outcome) {
-            (StoredOutcome::Plan(a), StoredOutcome::Plan(b)) => (a, b),
-            _ => unreachable!("encoded a plan"),
-        };
-        prop_assert_eq!(
-            a.plan.est_iteration_time.to_bits(),
-            b.plan.est_iteration_time.to_bits()
-        );
-        for (ra, rb) in a.plan.replicas.iter().zip(&b.plan.replicas) {
-            prop_assert_eq!(ra.est_makespan.to_bits(), rb.est_makespan.to_bits());
+        let mut decoded_per_codec = Vec::new();
+        for codec in PlanCodec::ALL {
+            let wire = stored.encode(codec);
+            let decoded = StoredPlan::decode(codec, &wire).expect("wire blob decodes");
+            // Value equality, then the stronger bitwise check: both
+            // codecs are deterministic and float-exact, so a bit-exact
+            // decode re-encodes to the identical byte string.
+            prop_assert_eq!(&decoded, &stored);
+            prop_assert_eq!(decoded.encode(codec), wire);
+            // A blob must never decode under the other codec: the wire
+            // format is unambiguous, not guessable.
+            let other = match codec {
+                PlanCodec::Json => PlanCodec::Binary,
+                PlanCodec::Binary => PlanCodec::Json,
+            };
+            prop_assert!(StoredPlan::decode(other, &wire).is_err());
+            // Spot-check float bit patterns explicitly (PartialEq alone
+            // would accept 0.0 vs -0.0).
+            let (a, b) = match (&stored.outcome, &decoded.outcome) {
+                (StoredOutcome::Plan(a), StoredOutcome::Plan(b)) => (a, b),
+                _ => unreachable!("encoded a plan"),
+            };
+            prop_assert_eq!(
+                a.plan.est_iteration_time.to_bits(),
+                b.plan.est_iteration_time.to_bits()
+            );
+            for (ra, rb) in a.plan.replicas.iter().zip(&b.plan.replicas) {
+                prop_assert_eq!(ra.est_makespan.to_bits(), rb.est_makespan.to_bits());
+            }
+            decoded_per_codec.push(decoded);
         }
+        // Cross-decode equality: what came back from JSON equals what
+        // came back from the binary codec, field for field.
+        prop_assert_eq!(&decoded_per_codec[0], &decoded_per_codec[1]);
+        // The binary codec exists to shrink blobs: on a real lowered
+        // plan it must always be the smaller wire format.
+        let json_bytes = stored.encode(PlanCodec::Json).len();
+        let binary_bytes = stored.encode(PlanCodec::Binary).len();
+        prop_assert!(
+            binary_bytes < json_bytes,
+            "binary {} >= json {}", binary_bytes, json_bytes
+        );
     }
 
     #[test]
@@ -179,24 +204,27 @@ proptest! {
         };
         let shared: Vec<Arc<Vec<DeviceProgram>>> =
             lowered.programs.iter().cloned().map(Arc::new).collect();
-        let wire = StoredPlan { iteration, outcome: StoredOutcome::Plan(lowered) }.encode();
-        let decoded = match StoredPlan::decode(&wire).expect("decodes").outcome {
-            StoredOutcome::Plan(l) => l,
-            StoredOutcome::Failed(e) => panic!("encoded a plan, decoded {e}"),
-        };
-        // Jittered runs, so even the noise must agree bit for bit.
-        let run = RunConfig::default();
-        for (replica, (arc_programs, owned)) in
-            shared.into_iter().zip(decoded.programs).enumerate()
-        {
-            let config = replica_engine_config(&cm, &run, iteration, replica);
-            let original = Engine::with_shared(config.clone(), arc_programs)
-                .run()
-                .expect("original runs");
-            let roundtripped = Engine::new(config, owned).run().expect("decoded runs");
-            original
-                .bit_eq(&roundtripped)
-                .unwrap_or_else(|e| panic!("replica {replica} diverged after the wire: {e}"));
+        let stored = StoredPlan { iteration, outcome: StoredOutcome::Plan(lowered) };
+        for codec in PlanCodec::ALL {
+            let wire = stored.encode(codec);
+            let decoded = match StoredPlan::decode(codec, &wire).expect("decodes").outcome {
+                StoredOutcome::Plan(l) => l,
+                StoredOutcome::Failed(e) => panic!("encoded a plan, decoded {e}"),
+            };
+            // Jittered runs, so even the noise must agree bit for bit.
+            let run = RunConfig::default();
+            for (replica, (arc_programs, owned)) in
+                shared.iter().cloned().zip(decoded.programs).enumerate()
+            {
+                let config = replica_engine_config(&cm, &run, iteration, replica);
+                let original = Engine::with_shared(config.clone(), arc_programs)
+                    .run()
+                    .expect("original runs");
+                let roundtripped = Engine::new(config, owned).run().expect("decoded runs");
+                original.bit_eq(&roundtripped).unwrap_or_else(|e| {
+                    panic!("replica {replica} diverged after the {} wire: {e}", codec.label())
+                });
+            }
         }
     }
 
@@ -205,23 +233,29 @@ proptest! {
         let f = f64::from_bits(bits);
         if f.is_nan() {
             // NaN payloads are out of contract: plans never contain them
-            // (and the wire collapses them to one canonical NaN).
+            // (and the JSON wire collapses them to one canonical NaN —
+            // the binary codec happens to preserve even these, see the
+            // codec unit tests, but the contract only covers non-NaN).
             return Ok(());
         }
         let json = serde_json::to_string(&f).unwrap();
         let back: f64 = serde_json::from_str(&json).unwrap();
         prop_assert_eq!(back.to_bits(), bits);
-        // The same pattern embedded in a device program op survives too.
+        // The same pattern embedded in a device program op survives both
+        // codecs too.
         let program = DeviceProgram {
             ops: vec![SimOp::compute(f, OpLabel::new(0, 0, false))],
         };
-        let back: DeviceProgram =
-            serde_json::from_str(&serde_json::to_string(&program).unwrap()).unwrap();
-        match &back.ops[0] {
-            SimOp::Compute { duration, .. } => {
-                prop_assert_eq!(duration.to_bits(), bits);
+        for codec in PlanCodec::ALL {
+            let wire = codec.encode_value(&serde::Serialize::to_value(&program));
+            let value = codec.decode_value(&wire).expect("program decodes");
+            let back: DeviceProgram = serde::Deserialize::from_value(&value).unwrap();
+            match &back.ops[0] {
+                SimOp::Compute { duration, .. } => {
+                    prop_assert_eq!(duration.to_bits(), bits);
+                }
+                other => panic!("unexpected op {other:?}"),
             }
-            other => panic!("unexpected op {other:?}"),
         }
     }
 }
