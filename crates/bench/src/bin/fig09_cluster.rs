@@ -15,21 +15,34 @@
 //! each with both [`PlanCodec`]s, so the artifact shows what the binary
 //! codec buys on a real multi-host wire.
 //!
+//! A **churn arm** (PR 6) then replays the `2p×1w→2e` deployment per
+//! codec under a scripted worst-of-every-class [`ChurnScript`] — a
+//! straggler, a planner crash, a planner join, and an executor-host
+//! loss — with a re-issue deadline armed, and reports the recovery
+//! counters ([`dynapipe_cluster::ChurnStats`]) plus `churn_overhead_us`
+//! against the undisturbed arm of the same topology and codec. Events
+//! are keyed at `min(k, iters-1)` so a capped 1-iteration smoke run
+//! still fires every one of them.
+//!
 //! Emits `BENCH_cluster.json` with per-topology cluster walls, overlap
-//! ratios, per-host breakdowns and per-codec bytes / decode time, and
-//! **exits nonzero** if
+//! ratios, per-host breakdowns, per-codec bytes / decode time, and the
+//! churn arms, and **exits nonzero** if
 //!
 //! 1. any topology's `RunReport` diverges from the serial driver
-//!    (`behavior_eq` — the golden invariant), or
+//!    (`behavior_eq` — the golden invariant), **including the churned
+//!    arms**, or
 //! 2. the binary codec's mean blob exceeds **half** the JSON blob, or
 //! 3. the binary codec does not decode faster than JSON on a
 //!    **controlled microbenchmark** (one real lowered plan blob per
 //!    model, decoded repeatedly on an otherwise idle process — the
 //!    in-run decode walls are also reported, but on a contended 1-CPU
-//!    container they measure the scheduler, not the codec).
+//!    container they measure the scheduler, not the codec), or
+//! 4. recovery cost is unbounded: a churned arm's wall exceeds
+//!    `3 × undisturbed + 5 s` (the slack covers the injected straggle
+//!    sleep and scheduler noise on a small container).
 
 use dynapipe_bench::{write_json, write_root_artifact, BenchOpts};
-use dynapipe_cluster::{run_training_cluster, ClusterConfig, ClusterReport};
+use dynapipe_cluster::{run_training_cluster, ChurnEvent, ChurnScript, ClusterConfig, ClusterReport};
 use dynapipe_core::{
     compile_replica, run_training, DynaPipePlanner, PlanCodec, PlannerConfig, RunConfig,
     StoredLowered, StoredOutcome, StoredPlan,
@@ -39,11 +52,18 @@ use dynapipe_data::{Dataset, GlobalBatchConfig, GlobalBatchIter};
 use dynapipe_model::{HardwareModel, ModelConfig, ParallelConfig};
 use dynapipe_sim::LinkModel;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Arm {
     stats: ClusterReport,
     divergence: Option<String>,
+}
+
+struct ChurnArm {
+    stats: ClusterReport,
+    divergence: Option<String>,
+    undisturbed_wall_us: f64,
+    churn_overhead_us: f64,
 }
 
 /// Controlled per-model codec measurement: one real lowered plan blob,
@@ -108,7 +128,36 @@ struct ModelOutcome {
     iterations: usize,
     serial_wall_us: f64,
     arms: Vec<Arm>,
+    churn_arms: Vec<ChurnArm>,
     codec_bench: CodecBench,
+}
+
+/// The churn arm's deployment: the `2p×1w→2e` matrix topology with one
+/// scripted event of every class and a re-issue deadline armed. Events
+/// are keyed at `min(k, iters-1)` so a capped 1-iteration smoke run
+/// (`run_all --smoke`) still fires all of them at iteration 0.
+fn churn_topology(iters: usize, codec: PlanCodec) -> ClusterConfig {
+    let at = |k: usize| k.min(iters.saturating_sub(1));
+    ClusterConfig {
+        planner_hosts: 2,
+        workers_per_host: 1,
+        executor_hosts: 2,
+        plan_ahead: 4,
+        codec,
+        churn: ChurnScript::new()
+            .at(
+                at(1),
+                ChurnEvent::Straggle {
+                    host: 1,
+                    delay_ms: 1200,
+                },
+            )
+            .at(at(2), ChurnEvent::PlannerCrash { host: 1 })
+            .at(at(2), ChurnEvent::PlannerJoin { workers: 1 })
+            .at(at(3), ChurnEvent::ExecutorLoss { host: 1 }),
+        reissue_deadline: Some(Duration::from_millis(500)),
+        ..Default::default()
+    }
 }
 
 fn topologies() -> Vec<ClusterConfig> {
@@ -121,6 +170,7 @@ fn topologies() -> Vec<ClusterConfig> {
             plan_ahead: 4,
             codec,
             link: LinkModel::local(),
+            ..Default::default()
         });
         out.push(ClusterConfig {
             planner_hosts: 2,
@@ -170,12 +220,33 @@ fn run_model(
         .iter()
         .map(|r| r.planning_time_us + r.measured_time)
         .sum();
-    let arms = topologies()
+    let arms: Vec<Arm> = topologies()
         .into_iter()
         .map(|cluster| {
             let (report, stats) = run_training_cluster(&planner, dataset, gbs, run, cluster);
             Arm {
                 divergence: serial.behavior_eq(&report).err(),
+                stats,
+            }
+        })
+        .collect();
+    let churn_arms = PlanCodec::ALL
+        .into_iter()
+        .map(|codec| {
+            let cluster = churn_topology(iters, codec);
+            let label = cluster.label();
+            let (report, stats) = run_training_cluster(&planner, dataset, gbs, run, cluster);
+            // The undisturbed baseline is the matrix arm with the same
+            // topology and codec, measured moments earlier in this run.
+            let undisturbed_wall_us = arms
+                .iter()
+                .find(|a| a.stats.topology == label && a.stats.codec == stats.codec)
+                .map(|a| a.stats.cluster_wall_us)
+                .unwrap_or(serial_wall_us);
+            ChurnArm {
+                divergence: serial.behavior_eq(&report).err(),
+                churn_overhead_us: stats.cluster_wall_us - undisturbed_wall_us,
+                undisturbed_wall_us,
                 stats,
             }
         })
@@ -186,6 +257,7 @@ fn run_model(
         iterations: serial.records.len(),
         serial_wall_us,
         arms,
+        churn_arms,
         codec_bench,
     }
 }
@@ -224,6 +296,22 @@ fn main() {
                 s.mean_blob_bytes / 1e3,
                 s.wire_bytes as f64 / 1e3,
                 s.decode_us / 1e3,
+            );
+        }
+        for c in &o.churn_arms {
+            let ch = &c.stats.churn;
+            println!(
+                "{:>5} {:>9} {:>7} | churn +{:.1} ms: {} applied, {} reissued, \
+                 {} stale, {} moved, {} dup blobs",
+                o.name,
+                c.stats.topology,
+                c.stats.codec,
+                c.churn_overhead_us.max(0.0) / 1e3,
+                ch.events_applied,
+                ch.tickets_reissued,
+                ch.stale_completions,
+                ch.replicas_moved,
+                ch.duplicate_blobs_discarded,
             );
         }
         outcomes.push(o);
@@ -312,11 +400,46 @@ fn main() {
                                     .collect(),
                             ),
                         ),
+                        (
+                            "churn_arms".to_string(),
+                            serde_json::Value::Array(
+                                o.churn_arms
+                                    .iter()
+                                    .map(|c| {
+                                        let mut v = match serde_json::to_value(&c.stats) {
+                                            serde_json::Value::Object(m) => m,
+                                            _ => unreachable!("reports are objects"),
+                                        };
+                                        v.push((
+                                            "undisturbed_wall_us".to_string(),
+                                            serde_json::json!(c.undisturbed_wall_us),
+                                        ));
+                                        v.push((
+                                            "churn_overhead_us".to_string(),
+                                            serde_json::json!(c.churn_overhead_us),
+                                        ));
+                                        v.push((
+                                            "report_divergence".to_string(),
+                                            serde_json::json!(c
+                                                .divergence
+                                                .clone()
+                                                .unwrap_or_default()),
+                                        ));
+                                        serde_json::Value::Object(v)
+                                    })
+                                    .collect(),
+                            ),
+                        ),
                     ]),
                 )
             })
             .collect(),
     );
+    let churn_overhead_us: f64 = outcomes
+        .iter()
+        .flat_map(|o| o.churn_arms.iter())
+        .map(|c| c.churn_overhead_us.max(0.0))
+        .sum();
     let out = serde_json::Value::Object(vec![
         ("iterations".to_string(), serde_json::json!(iters)),
         (
@@ -340,6 +463,10 @@ fn main() {
             serde_json::json!(binary_decode_us),
         ),
         (
+            "churn_overhead_us".to_string(),
+            serde_json::json!(churn_overhead_us),
+        ),
+        (
             "threads".to_string(),
             serde_json::json!(rayon::current_num_threads()),
         ),
@@ -348,7 +475,8 @@ fn main() {
     write_root_artifact(&opts, "BENCH_cluster.json", &out);
     write_json("fig09_cluster", &out);
 
-    // Hard checks: the golden invariant and the codec acceptance bar.
+    // Hard checks: the golden invariant (churned arms included), the
+    // codec acceptance bar, and bounded recovery cost.
     let mut failed = false;
     for o in &outcomes {
         for a in &o.arms {
@@ -356,6 +484,24 @@ fn main() {
                 eprintln!(
                     "error: {} {}/{} diverged from serial: {d}",
                     o.name, a.stats.topology, a.stats.codec
+                );
+                failed = true;
+            }
+        }
+        for c in &o.churn_arms {
+            if let Some(d) = &c.divergence {
+                eprintln!(
+                    "error: {} churned {}/{} diverged from serial: {d}",
+                    o.name, c.stats.topology, c.stats.codec
+                );
+                failed = true;
+            }
+            let bound = c.undisturbed_wall_us * 3.0 + 5e6;
+            if c.stats.cluster_wall_us > bound {
+                eprintln!(
+                    "error: {} churned {}/{} recovery cost is unbounded: {:.0} µs wall \
+                     vs {:.0} µs allowed (3× undisturbed + 5 s)",
+                    o.name, c.stats.topology, c.stats.codec, c.stats.cluster_wall_us, bound
                 );
                 failed = true;
             }

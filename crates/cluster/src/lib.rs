@@ -31,18 +31,27 @@
 //!   and bytes pushed per planner host, bytes fetched / wire time /
 //!   exposed-vs-hidden planning per executor host, and store counters.
 //!
-//! **The golden invariant carries over unchanged:** whatever the
-//! topology, codec, or link speed, the produced
-//! [`dynapipe_core::RunReport`] is bit-identical to the serial driver's
-//! (`RunReport::behavior_eq`) — the wire can only move time around,
-//! never change what was trained. `tests/cluster_equivalence.rs`
-//! enforces this across the scenario matrix and the `fig09_cluster`
+//! The deployment is **elastic** (PR 6): a [`ChurnScript`] injects
+//! deterministic membership churn — planner-host crashes and joins,
+//! executor-host losses with replica re-placement, and straggler
+//! slowdowns recovered through deadline-based ticket re-issue
+//! ([`crate::churn`]) — and [`ChurnStats`] counts what recovery cost.
+//!
+//! **The golden invariant carries over unchanged — and extends to
+//! churn:** whatever the topology, codec, link speed, or scripted
+//! churn, the produced [`dynapipe_core::RunReport`] is bit-identical to
+//! the serial driver's (`RunReport::behavior_eq`) — the wire and the
+//! churn can only move time around, never change what was trained.
+//! `tests/cluster_equivalence.rs` and `tests/churn_equivalence.rs`
+//! enforce this across the scenario matrices and the `fig09_cluster`
 //! bench exits nonzero on any divergence.
 
+pub mod churn;
 pub mod report;
 pub mod runtime;
 pub mod topology;
 
-pub use report::{ClusterReport, ExecutorHostStats, PlannerHostStats};
+pub use churn::{ChurnEvent, ChurnScript, Membership};
+pub use report::{ChurnStats, ClusterReport, ExecutorHostStats, PlannerHostStats};
 pub use runtime::run_training_cluster;
 pub use topology::ClusterConfig;

@@ -56,6 +56,39 @@ pub struct ExecutorHostStats {
     pub busy_us: f64,
 }
 
+/// Churn and recovery counters of one elastic run. Recovery must be
+/// visible (counted) and bounded (the `fig09_cluster` churn arm gates
+/// on overhead) — but never behavioral: whatever these counters say,
+/// the paired `RunReport` is bit-identical to the undisturbed run's.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ChurnStats {
+    /// Scripted events that took effect.
+    pub events_applied: usize,
+    /// Scripted events ignored as invalid (dead/unknown host, last
+    /// survivor, store host).
+    pub events_ignored: usize,
+    /// Planner hosts crashed.
+    pub planner_crashes: usize,
+    /// Planner hosts joined.
+    pub planner_joins: usize,
+    /// Executor hosts lost.
+    pub executor_losses: usize,
+    /// Straggle delays injected.
+    pub straggles: usize,
+    /// Data-parallel replicas re-placed onto surviving executor hosts.
+    pub replicas_moved: usize,
+    /// Bounded executor waits that expired (each a re-issue attempt).
+    pub deadline_expiries: u64,
+    /// Queue tickets re-issued to a new claimant (deadline, crash,
+    /// abandon).
+    pub tickets_reissued: u64,
+    /// Late duplicate completions discarded by the queue (first-wins).
+    pub stale_completions: u64,
+    /// Late duplicate blobs discarded at the store door
+    /// (`push_discarding`).
+    pub duplicate_blobs_discarded: u64,
+}
+
 /// The rollup of one cluster run. The paired
 /// [`dynapipe_core::RunReport`] carries the training behavior (and must
 /// be bit-identical to the serial driver's); this report carries where
@@ -106,6 +139,9 @@ pub struct ClusterReport {
     /// Final instruction-store counters (post-teardown: occupancy and
     /// bytes must be zero, peak ≤ window).
     pub store: StoreStats,
+    /// Churn events applied and what recovery cost (all zeros for an
+    /// undisturbed run).
+    pub churn: ChurnStats,
 }
 
 impl ClusterReport {

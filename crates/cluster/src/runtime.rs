@@ -47,19 +47,20 @@
 //! exceed the ideal by genuinely exposed distribution latency — which is
 //! what [`ClusterReport`] itemizes per host.
 
-use crate::report::{ClusterReport, ExecutorHostStats, PlannerHostStats};
+use crate::churn::{ChurnEvent, Membership};
+use crate::report::{ChurnStats, ClusterReport, ExecutorHostStats, PlannerHostStats};
 use crate::topology::ClusterConfig;
 use dynapipe_core::driver::{record_iteration, IterationPlanner, RunConfig, RunReport};
 use dynapipe_core::planner::{IterationPlan, PlanError};
 use dynapipe_core::runtime::{
-    execute_lowered, plan_lower_push, PlanAheadQueue, ReplicaParallelism, TicketGuard,
-    WaitOutcome,
+    execute_lowered, plan_lower_push, DuplicatePush, PlanAheadQueue, ReplicaParallelism,
+    TicketGuard, WaitOutcome,
 };
 use dynapipe_core::store::{InstructionStore, StoredLowered, StoredOutcome, StoredPlan};
 use dynapipe_batcher::PaddingStats;
 use dynapipe_data::{BatchStream, Dataset, GlobalBatchConfig};
 use dynapipe_sim::{DeviceProgram, Link, LinkModel};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Crashed-counterpart bound for store waits (mirrors the core runtime):
@@ -87,6 +88,12 @@ struct ClaimedCluster {
     outcome: Result<(IterationPlan, Vec<Arc<Vec<DeviceProgram>>>), PlanError>,
     /// Real µs one host spends decoding its copy of the blob.
     decode_us: f64,
+    /// Replica → executor-host placement in force for this iteration.
+    /// Snapshotted by the prefetcher (the thread that applies churn
+    /// events, possibly several iterations ahead of the executor), so
+    /// the executor's accounting follows the placement the iteration
+    /// was *fetched* under, deterministically.
+    placement: Vec<usize>,
 }
 
 enum Prefetched {
@@ -122,6 +129,22 @@ pub fn run_training_cluster(
     let store = InstructionStore::with_capacity(cluster.plan_ahead);
     let t0 = Instant::now();
 
+    // Planner-host roster: the configured hosts plus one slot per
+    // scripted join. Joined hosts' worker threads are spawned up front
+    // but parked behind the membership gate, so a join event activates
+    // them instantly (and deterministically — no mid-run thread spawn
+    // racing the claim loop).
+    let script = cluster.churn.clone();
+    let mut host_workers: Vec<usize> = vec![cluster.workers_per_host; cluster.planner_hosts];
+    host_workers.extend(script.joining_hosts());
+    let worker_host: Vec<usize> = host_workers
+        .iter()
+        .enumerate()
+        .flat_map(|(h, &n)| std::iter::repeat(h).take(n))
+        .collect();
+    let membership = Membership::new(cluster.planner_hosts, host_workers.len() - cluster.planner_hosts);
+    let ledger: Mutex<ChurnStats> = Mutex::new(ChurnStats::default());
+
     let mut report = RunReport {
         planner: planner.label(),
         records: Vec::new(),
@@ -134,10 +157,12 @@ pub fn run_training_cluster(
         topology: cluster.label(),
         codec: cluster.codec.label().to_string(),
         plan_ahead: cluster.plan_ahead,
-        planner_hosts: (0..cluster.planner_hosts)
-            .map(|h| PlannerHostStats {
+        planner_hosts: host_workers
+            .iter()
+            .enumerate()
+            .map(|(h, &workers)| PlannerHostStats {
                 host: h,
-                workers: cluster.workers_per_host,
+                workers,
                 ..Default::default()
             })
             .collect(),
@@ -159,7 +184,7 @@ pub fn run_training_cluster(
     // FIFO in iteration order: the executor demands blobs in order, so
     // fetch i+1 cannot start before fetch i finishes on that host's
     // link.
-    let mut uplinks: Vec<Link> = (0..cluster.total_workers())
+    let mut uplinks: Vec<Link> = (0..worker_host.len())
         .map(|_| Link::new(cluster.link))
         .collect();
     let mut downlinks: Vec<Link> = (0..cluster.executor_hosts)
@@ -172,28 +197,64 @@ pub fn run_training_cluster(
         })
         .collect();
 
-    let total_workers = cluster.total_workers();
-    let nested_threads = (rayon::current_num_threads() / total_workers).max(1);
+    let nested_threads = (rayon::current_num_threads() / cluster.total_workers().max(1)).max(1);
 
     std::thread::scope(|scope| {
-        for w in 0..total_workers {
+        for (w, &host) in worker_host.iter().enumerate() {
             let queue = &queue;
             let stream = &stream;
             let store = &store;
+            let membership = &membership;
+            let ledger = &ledger;
+            let cluster = &cluster;
             scope.spawn(move || {
+                // Scripted-join hosts park here until their event fires.
+                if !membership.wait_active(host) {
+                    return;
+                }
                 let pool = rayon::ThreadPoolBuilder::new()
                     .num_threads(nested_threads)
                     .build()
                     .expect("planner worker pool");
                 pool.install(|| {
-                    while let Some((index, batch)) = queue.claim(stream) {
+                    while let Some(ticket) = queue.claim(stream, w) {
+                        // A crash takes effect at the claim boundary:
+                        // the dead host's worker hands the ticket
+                        // straight back for the survivors.
+                        if !membership.is_alive(host) {
+                            queue.abandon(ticket.index, w);
+                            return;
+                        }
+                        // A scripted straggle delays this host's next
+                        // attempt *before* planning starts — the window
+                        // the executor's re-issue deadline is built to
+                        // detect.
+                        if let Some(delay) = membership.take_straggle(host) {
+                            std::thread::sleep(delay);
+                        }
                         let guard = TicketGuard::new(queue, Some(store));
                         // Shared with the core runtime's store-backed
-                        // worker: plan, lower owned, encode, push.
-                        let push =
-                            plan_lower_push(planner, store, cluster.codec, index, &batch);
+                        // worker: plan, lower owned, encode, push. Under
+                        // churn an iteration may race two byte-identical
+                        // blobs (straggler vs re-issue): whichever lands
+                        // second is discarded at the store door.
+                        let push = plan_lower_push(
+                            planner,
+                            store,
+                            cluster.codec,
+                            ticket.index,
+                            &ticket.batch,
+                            DuplicatePush::Discard,
+                        );
+                        if push.discarded {
+                            ledger
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .duplicate_blobs_discarded += 1;
+                        }
                         queue.complete(
-                            index,
+                            ticket.index,
+                            ticket.generation,
                             ClusterPlanned {
                                 worker: w,
                                 plan_us: push.plan_us,
@@ -204,6 +265,9 @@ pub fn run_training_cluster(
                             },
                         );
                         guard.disarm();
+                        if !membership.is_alive(host) {
+                            return; // crashed mid-plan: stop claiming
+                        }
                     }
                 });
             });
@@ -213,19 +277,120 @@ pub fn run_training_cluster(
         // ahead of execution (one decode stands in for the per-host
         // decodes, which would run in parallel on identical bytes), and
         // hand the executable plan over a bounded channel.
+        //
+        // The prefetcher is also the **churn event loop**: it is the one
+        // thread that observes iteration boundaries strictly in order,
+        // so scripted events key off its progress — applied before the
+        // wait for the keyed iteration's plan, and the placement in
+        // force is snapshotted per iteration for the executor's
+        // accounting (the prefetcher runs ahead, so the executor must
+        // not read live placement state).
         let (tx, rx) = std::sync::mpsc::sync_channel::<Prefetched>(1);
         {
             let queue = &queue;
             let store = &store;
+            let membership = &membership;
+            let ledger = &ledger;
+            let script = &script;
+            let worker_host = &worker_host;
+            let cluster = &cluster;
+            let dp = cm.parallel.dp.max(1);
             scope.spawn(move || {
+                let mut executor_alive = vec![true; cluster.executor_hosts];
+                let mut replica_host: Vec<usize> =
+                    (0..dp).map(|r| cluster.executor_host_of(r)).collect();
                 for it in 0..cap {
-                    let meta = match queue.wait_for(it) {
-                        WaitOutcome::Cancelled => return,
-                        WaitOutcome::EndOfEpoch => {
-                            let _ = tx.send(Prefetched::EndOfEpoch);
-                            return;
+                    // --- Scripted churn due at this iteration ---------
+                    for ev in script.events_at(it) {
+                        let mut led = ledger.lock().unwrap_or_else(|e| e.into_inner());
+                        match ev {
+                            ChurnEvent::PlannerCrash { host } => {
+                                if membership.crash(*host) {
+                                    led.events_applied += 1;
+                                    led.planner_crashes += 1;
+                                    // Everything the dead host's workers
+                                    // held goes back to the survivors.
+                                    queue.reissue_claimed_by(|w| worker_host[w] == *host);
+                                } else {
+                                    led.events_ignored += 1;
+                                }
+                            }
+                            ChurnEvent::PlannerJoin { .. } => {
+                                if membership.activate_next().is_some() {
+                                    led.events_applied += 1;
+                                    led.planner_joins += 1;
+                                } else {
+                                    led.events_ignored += 1;
+                                }
+                            }
+                            ChurnEvent::Straggle { host, delay_ms } => {
+                                if membership
+                                    .straggle(*host, Duration::from_millis(*delay_ms))
+                                {
+                                    led.events_applied += 1;
+                                    led.straggles += 1;
+                                } else {
+                                    led.events_ignored += 1;
+                                }
+                            }
+                            ChurnEvent::ExecutorLoss { host } => {
+                                let survivors: Vec<usize> = (0..cluster.executor_hosts)
+                                    .filter(|&h| h != *host && executor_alive[h])
+                                    .collect();
+                                // Host 0 holds the store; losing it (or
+                                // the last survivor) is fail-stop, not
+                                // churn. A dead/unknown host is a no-op.
+                                if *host == 0
+                                    || *host >= cluster.executor_hosts
+                                    || !executor_alive[*host]
+                                    || survivors.is_empty()
+                                {
+                                    led.events_ignored += 1;
+                                } else {
+                                    executor_alive[*host] = false;
+                                    led.events_applied += 1;
+                                    led.executor_losses += 1;
+                                    // Re-place the lost host's replicas
+                                    // round-robin onto the survivors;
+                                    // their plans re-distribute from the
+                                    // store over the survivors' own
+                                    // downlinks from here on.
+                                    for (r, h) in replica_host.iter_mut().enumerate() {
+                                        if *h == *host {
+                                            *h = survivors[r % survivors.len()];
+                                            led.replicas_moved += 1;
+                                        }
+                                    }
+                                }
+                            }
                         }
-                        WaitOutcome::Planned(p) => p,
+                    }
+                    let placement = replica_host.clone();
+
+                    // --- Bounded wait + straggler re-issue ------------
+                    let meta = loop {
+                        match queue.wait_for_deadline(it, cluster.reissue_deadline) {
+                            WaitOutcome::Cancelled => return,
+                            WaitOutcome::EndOfEpoch => {
+                                let _ = tx.send(Prefetched::EndOfEpoch);
+                                return;
+                            }
+                            WaitOutcome::Deadline => {
+                                // The plan is overdue: suspect the
+                                // holder and re-issue the ticket to the
+                                // next healthy claimant, then keep
+                                // waiting (first completion wins).
+                                let mut led =
+                                    ledger.lock().unwrap_or_else(|e| e.into_inner());
+                                led.deadline_expiries += 1;
+                                drop(led);
+                                let min_age = cluster
+                                    .reissue_deadline
+                                    .expect("Deadline implies a deadline was set");
+                                queue.reissue(it, min_age);
+                            }
+                            WaitOutcome::Planned(p) => break p,
+                        }
                     };
                     // Time the *decode* alone: the wait-for-arrival and
                     // the store take model the fetch, which the timeline
@@ -258,6 +423,7 @@ pub fn run_training_cluster(
                         meta,
                         outcome,
                         decode_us,
+                        placement,
                     };
                     if tx.send(Prefetched::Iteration(Box::new(claimed))).is_err() {
                         return; // executor stopped consuming
@@ -289,6 +455,7 @@ pub fn run_training_cluster(
                 meta,
                 outcome,
                 decode_us,
+                placement,
             } = *claimed;
             let (plan, programs) = match outcome {
                 Ok(x) => x,
@@ -314,7 +481,7 @@ pub fn run_training_cluster(
 
             // --- Wire + per-host timeline ---------------------------------
             let bytes = meta.blob_bytes as u64;
-            let p = cluster.planner_host_of(meta.worker);
+            let p = worker_host[meta.worker];
             let up_before = uplinks[meta.worker].wire_us();
             let at_store = uplinks[meta.worker].transmit(meta.pushed_at_us, bytes);
             let ph = &mut out.planner_hosts[p];
@@ -329,7 +496,10 @@ pub fn run_training_cluster(
             // blob and run their share.
             let mut spans = vec![f64::NEG_INFINITY; cluster.executor_hosts];
             for (r, &makespan) in exec.replica_makespans.iter().enumerate() {
-                let h = cluster.executor_host_of(r);
+                // Placement under churn: the snapshot the prefetcher took
+                // when it fetched this iteration (initially
+                // `r % executor_hosts`; re-placed on executor loss).
+                let h = placement.get(r).copied().unwrap_or_else(|| cluster.executor_host_of(r));
                 spans[h] = spans[h].max(makespan);
                 if !out.executor_hosts[h].replicas.contains(&r) {
                     out.executor_hosts[h].replicas.push(r);
@@ -377,15 +547,24 @@ pub fn run_training_cluster(
         }
         out.cluster_wall_us = vclock;
         // Teardown: stop workers waiting on the window or about to claim
-        // past a failure, and wake a prefetcher stuck on a plan that will
-        // never come.
+        // past a failure, wake a prefetcher stuck on a plan that will
+        // never come, and release the workers of scripted-join hosts
+        // whose event never fired.
         queue.cancel();
+        membership.shutdown();
         drop(rx);
     });
 
     // Workers joined: sweep speculative blobs past a failure.
     store.clear_remaining();
     out.store = store.stats();
+
+    // Fold the queue's churn counters into the ledger.
+    let mut churn = ledger.into_inner().unwrap_or_else(|e| e.into_inner());
+    let qc = queue.churn_stats();
+    churn.tickets_reissued = qc.reissued;
+    churn.stale_completions = qc.stale_completions;
+    out.churn = churn;
 
     // Cluster totals. Host pipeline cost counts every host's decode (each
     // fetching host burns its own CPU on its copy).

@@ -1,8 +1,10 @@
 //! Cluster topology: where planners, the store, and executors live.
 
+use crate::churn::ChurnScript;
 use dynapipe_core::PlanCodec;
 use dynapipe_model::HardwareModel;
 use dynapipe_sim::LinkModel;
+use std::time::Duration;
 
 /// Placement and sizing of a simulated multi-host deployment (Fig. 9).
 ///
@@ -10,12 +12,14 @@ use dynapipe_sim::LinkModel;
 /// paper parks Redis in one training machine's host memory), so that
 /// host's fetch hop is free while every other hop — each planner host's
 /// push and each remaining executor host's fetch — pays the configured
-/// [`LinkModel`]. Data-parallel replica `r` executes on host
-/// `r % executor_hosts`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// [`LinkModel`]. Data-parallel replica `r` initially executes on host
+/// `r % executor_hosts`; a scripted executor-host loss re-places its
+/// replicas onto the survivors.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
     /// Planner machines (≥ 1), each running `workers_per_host` planner
-    /// workers against the shared plan-ahead window.
+    /// workers against the shared plan-ahead window. Scripted joins add
+    /// hosts beyond this count at run time.
     pub planner_hosts: usize,
     /// Planner worker threads per planner host (≥ 1).
     pub workers_per_host: usize,
@@ -30,6 +34,17 @@ pub struct ClusterConfig {
     /// α-β cost of one inter-host hop. [`LinkModel::local`] degenerates
     /// the topology to free transport (useful as an A/B control).
     pub link: LinkModel,
+    /// Scripted fault injection (empty = undisturbed run). Events are
+    /// applied deterministically at iteration boundaries; see
+    /// [`crate::churn`].
+    pub churn: ChurnScript,
+    /// How long the executor waits on one iteration's plan before
+    /// suspecting its planner and re-issuing the ticket to a healthy
+    /// worker. `None` (the default) waits unboundedly — straggler
+    /// recovery off. First-completion-wins semantics make an
+    /// aggressive deadline safe: a spurious re-issue wastes a replan
+    /// but cannot change behavior or livelock the run.
+    pub reissue_deadline: Option<Duration>,
 }
 
 impl Default for ClusterConfig {
@@ -41,6 +56,8 @@ impl Default for ClusterConfig {
             plan_ahead: 4,
             codec: PlanCodec::default(),
             link: ClusterConfig::link_from_hardware(&HardwareModel::a100_cluster()),
+            churn: ChurnScript::new(),
+            reissue_deadline: None,
         }
     }
 }
@@ -64,8 +81,7 @@ impl ClusterConfig {
             workers_per_host: self.workers_per_host.max(1),
             executor_hosts: self.executor_hosts.max(1).min(dp.max(1)),
             plan_ahead: self.plan_ahead.max(1),
-            codec: self.codec,
-            link: self.link,
+            ..self
         }
     }
 

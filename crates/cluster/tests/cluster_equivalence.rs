@@ -54,6 +54,7 @@ fn topologies() -> Vec<ClusterConfig> {
             plan_ahead: 2,
             codec,
             link: LinkModel::local(),
+            ..Default::default()
         });
         // Multi-planner, multi-executor over the default (a100
         // inter-node) link.
@@ -76,6 +77,7 @@ fn topologies() -> Vec<ClusterConfig> {
             plan_ahead: 3,
             codec,
             link: slow,
+            ..Default::default()
         });
     }
     out
@@ -91,6 +93,7 @@ fn assert_cluster_matrix(
     let mut reports = Vec::new();
     for cluster in topologies() {
         let label = format!("{}/{}", cluster.label(), cluster.codec.label());
+        let plan_ahead = cluster.plan_ahead;
         let (report, stats) = run_training_cluster(planner, dataset, gbs, run, cluster);
         serial
             .behavior_eq(&report)
@@ -100,7 +103,7 @@ fn assert_cluster_matrix(
         assert_eq!(stats.store.occupancy, 0, "{label}: orphaned blobs");
         assert_eq!(stats.store.bytes, 0, "{label}: leaked bytes");
         assert!(
-            stats.store.peak_occupancy <= cluster.plan_ahead.max(1),
+            stats.store.peak_occupancy <= plan_ahead.max(1),
             "{label}: store peak {} exceeded window",
             stats.store.peak_occupancy
         );
@@ -184,8 +187,10 @@ fn slow_links_expose_wire_time_without_changing_behavior() {
         plan_ahead: 2,
         codec: PlanCodec::Binary,
         link: LinkModel::local(),
+        ..Default::default()
     };
-    let (fast_report, fast) = run_training_cluster(&planner, &dataset, gbs(16384), run, base);
+    let (fast_report, fast) =
+        run_training_cluster(&planner, &dataset, gbs(16384), run, base.clone());
     let (slow_report, slow) = run_training_cluster(
         &planner,
         &dataset,
@@ -329,7 +334,7 @@ fn binary_codec_shrinks_the_wire_on_identical_behavior() {
         codec: PlanCodec::Json,
         ..Default::default()
     };
-    let (ra, json) = run_training_cluster(&planner, &dataset, gbs(16384), run, base);
+    let (ra, json) = run_training_cluster(&planner, &dataset, gbs(16384), run, base.clone());
     let (rb, binary) = run_training_cluster(
         &planner,
         &dataset,

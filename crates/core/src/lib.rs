@@ -52,10 +52,11 @@ pub use planner::{
     ScheduleKind,
 };
 pub use runtime::{
-    run_training_pipelined, CompiledIteration, IterationExecution, PlanAheadQueue,
-    PlanDistribution, ReplicaParallelism, RuntimeConfig, RuntimeStats, TicketGuard, WaitOutcome,
+    run_training_pipelined, CompiledIteration, CompleteOutcome, DuplicatePush,
+    IterationExecution, PlanAheadQueue, PlanDistribution, QueueChurn, ReplicaParallelism,
+    RuntimeConfig, RuntimeStats, Ticket, TicketGuard, WaitOutcome,
 };
 pub use store::{
-    InstructionStore, StoreConfig, StoreError, StoreStats, StoredLowered, StoredOutcome,
-    StoredPlan,
+    InstructionStore, PushOutcome, StoreConfig, StoreError, StoreStats, StoredLowered,
+    StoredOutcome, StoredPlan,
 };

@@ -87,6 +87,32 @@
 //! timeline, where every microsecond of planning is exposed) quantifies
 //! the win; see [`RuntimeStats`]. The same methodology backs the existing
 //! `fig17_planning_time` bench's planning/iteration ratios.
+//!
+//! # Failure semantics: poison vs. re-issue
+//!
+//! Two distinct failure mechanisms coexist in the queue, for two
+//! distinct failure classes:
+//!
+//! * **poison (fail-stop)** — a planner worker *panics*: its unwind path
+//!   ([`TicketGuard`]) poisons the queue (and store, when store-backed),
+//!   every blocked party re-raises, and the run dies at exactly the
+//!   iteration the serial driver would have died at. A panic means the
+//!   planning computation itself is broken; retrying it elsewhere would
+//!   just panic again.
+//! * **re-issue (recover)** — a planner worker *disappears or straggles*
+//!   (scripted churn, a dead host, a slow machine): the computation is
+//!   fine, only its host is gone. The executor's bounded
+//!   [`PlanAheadQueue::wait_for_deadline`] detects the stall, and
+//!   [`PlanAheadQueue::reissue`] hands the claimed ticket — index,
+//!   mini-batch, and a bumped **generation** counter — to a surviving
+//!   worker. Completions are first-wins per iteration: whichever attempt
+//!   finishes first is accepted, every later duplicate is counted and
+//!   discarded ([`CompleteOutcome::Stale`]) — an iteration is never
+//!   double-completed, and because planning is deterministic all
+//!   attempts carry byte-identical plans, so recovery can never change
+//!   behavior, only cost wall-clock ([`QueueChurn`]). The elastic
+//!   cluster layer (`dynapipe-cluster`) drives this path; the
+//!   single-host runtime keeps the unbounded wait.
 
 use crate::codec::PlanCodec;
 use crate::driver::{record_iteration, IterationPlanner, RunConfig, RunReport};
@@ -201,6 +227,23 @@ pub struct StorePush {
     pub serialize_us: f64,
     /// Size of the pushed wire blob.
     pub blob_bytes: usize,
+    /// Whether the push was discarded as a re-issue duplicate (only
+    /// under [`DuplicatePush::Discard`]; always `false` otherwise).
+    pub discarded: bool,
+}
+
+/// How [`plan_lower_push`] treats a push that collides with an existing
+/// blob or tombstone for the same iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DuplicatePush {
+    /// Panic — the single-attempt runtime never legitimately pushes an
+    /// iteration twice, so a collision is a bug.
+    Fail,
+    /// Count and discard — the elastic runtime re-issues tickets, so a
+    /// straggling original and its re-issue may race byte-identical
+    /// blobs to the store; whichever lands second is dropped at the
+    /// door ([`InstructionStore::push_discarding`]).
+    Discard,
 }
 
 /// The store-backed planner-worker body, shared by the plan-ahead
@@ -223,6 +266,7 @@ pub fn plan_lower_push(
     codec: PlanCodec,
     index: usize,
     batch: &[Sample],
+    on_duplicate: DuplicatePush,
 ) -> StorePush {
     let cm = planner.cost_model();
     let t_plan = Instant::now();
@@ -249,14 +293,26 @@ pub fn plan_lower_push(
     }
     .encode(codec);
     let blob_bytes = blob.len();
-    store
-        .push_blocking(index, blob, STORE_WAIT)
-        .unwrap_or_else(|e| panic!("instruction store push failed: {e}"));
+    let discarded = match on_duplicate {
+        DuplicatePush::Fail => {
+            store
+                .push_blocking(index, blob, STORE_WAIT)
+                .unwrap_or_else(|e| panic!("instruction store push failed: {e}"));
+            false
+        }
+        DuplicatePush::Discard => {
+            let outcome = store
+                .push_discarding(index, blob, STORE_WAIT)
+                .unwrap_or_else(|e| panic!("instruction store push failed: {e}"));
+            outcome == crate::store::PushOutcome::DiscardedDuplicate
+        }
+    };
     StorePush {
         plan_us,
         lower_us,
         serialize_us: t_ser.elapsed().as_secs_f64() * 1e6,
         blob_bytes,
+        discarded,
     }
 }
 
@@ -418,6 +474,71 @@ pub enum WaitOutcome<T> {
     /// iteration completed planning — only ever observed by a consumer
     /// running ahead of the executor (e.g. the store-mode prefetcher).
     Cancelled,
+    /// A bounded [`PlanAheadQueue::wait_for_deadline`] gave up waiting:
+    /// the plan is still outstanding after the deadline. The caller
+    /// decides what that means — typically a straggler/crash suspicion
+    /// followed by [`PlanAheadQueue::reissue`]. The plain
+    /// [`PlanAheadQueue::wait_for`] never returns this.
+    Deadline,
+}
+
+/// A claimed planning assignment: which iteration to plan, which attempt
+/// this is, and the mini-batch (shared with the queue so the ticket can
+/// be re-issued to another worker without re-reading the stream).
+pub struct Ticket {
+    /// Iteration index (== stream index).
+    pub index: usize,
+    /// Attempt number for this iteration: 0 for the original claim,
+    /// bumped by every re-issue. Passed back to
+    /// [`PlanAheadQueue::complete`] so late duplicate attempts are
+    /// detected and discarded.
+    pub generation: u64,
+    /// The iteration's mini-batch.
+    pub batch: Arc<Vec<Sample>>,
+}
+
+/// A claimed-but-not-completed iteration, retained by the queue so the
+/// ticket can be re-issued if its holder crashes or straggles.
+struct Inflight {
+    batch: Arc<Vec<Sample>>,
+    /// Current attempt number; completions carrying an older number are
+    /// from attempts that were re-issued past.
+    generation: u64,
+    /// Global worker index of the current holder (for crash-triggered
+    /// re-issue of everything a dead host held).
+    owner: usize,
+    /// Whether the ticket sits in the re-issue queue awaiting a new
+    /// claimant (guards against double-queueing).
+    queued: bool,
+    /// When the current attempt was claimed — re-issue only fires on
+    /// attempts older than the caller's deadline, so a freshly
+    /// re-claimed ticket is not immediately invalidated again.
+    claimed_at: Instant,
+}
+
+/// Churn counters of a [`PlanAheadQueue`] (see
+/// [`PlanAheadQueue::churn_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueChurn {
+    /// Tickets re-issued to a new claimant (deadline, crash, abandon).
+    pub reissued: u64,
+    /// Completions discarded because the iteration was already completed
+    /// by another attempt (a late straggler's duplicate).
+    pub stale_completions: u64,
+}
+
+/// What [`PlanAheadQueue::complete`] did with a delivered completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompleteOutcome {
+    /// The completion was accepted; the executor will consume it.
+    Accepted,
+    /// Discarded: another attempt already completed this iteration (the
+    /// caller's work was wasted, not wrong — attempts are deterministic,
+    /// so every attempt produces the identical plan).
+    Stale,
+    /// Discarded: the run was cancelled (speculative work past a
+    /// failure).
+    Cancelled,
 }
 
 struct QueueState<T> {
@@ -437,6 +558,14 @@ struct QueueState<T> {
     ready: HashMap<usize, T>,
     /// High-water mark of `ready` (bounded by the window).
     max_ready: usize,
+    /// Claimed, not-yet-completed iterations (ticket + batch retained
+    /// for re-issue).
+    inflight: HashMap<usize, Inflight>,
+    /// Tickets awaiting a new claimant after a re-issue; served before
+    /// fresh stream claims (they are older, and the executor is waiting
+    /// on them).
+    reissue_queue: std::collections::VecDeque<usize>,
+    churn: QueueChurn,
 }
 
 /// The bounded plan-ahead queue between a planner pool and an in-order
@@ -446,6 +575,35 @@ struct QueueState<T> {
 /// stream under the queue lock, so ticket order always equals stream
 /// order; the window condition `next_ticket < next_consume + plan_ahead`
 /// bounds both speculation and resident compiled plans.
+///
+/// # Re-issue and generations (elastic membership)
+///
+/// Every claimed ticket is retained (batch included) until its
+/// completion is accepted, so a ticket whose holder crashes or
+/// straggles can be **re-issued** to a healthy worker:
+///
+/// * [`PlanAheadQueue::wait_for_deadline`] is the executor's bounded
+///   wait — on [`WaitOutcome::Deadline`] the caller may call
+///   [`PlanAheadQueue::reissue`], which bumps the ticket's generation
+///   and hands it to the next claimant (re-issued tickets are served
+///   before fresh stream claims);
+/// * completions are **first-wins**: planning is deterministic, so every
+///   attempt produces the identical plan — the first completion for an
+///   iteration is accepted no matter which generation produced it, and
+///   every later one is discarded as [`CompleteOutcome::Stale`]
+///   (counted, never double-executed). First-wins also means a
+///   too-short deadline can never livelock the queue: a spurious
+///   re-issue wastes a replan, it cannot invalidate the attempt that
+///   finishes first;
+/// * a worker that knows it is "dead" (scripted churn) hands a claimed
+///   ticket back with [`PlanAheadQueue::abandon`]; an executor that
+///   learns a whole host died re-issues everything it held via
+///   [`PlanAheadQueue::reissue_claimed_by`].
+///
+/// `claim` returning `None` still means "nothing left for *you*": at
+/// epoch end the pool drains only once no ticket is in flight, so a
+/// ticket abandoned by a crashing worker always finds a surviving
+/// claimant instead of stranding the executor.
 pub struct PlanAheadQueue<T> {
     state: Mutex<QueueState<T>>,
     cv: Condvar,
@@ -466,6 +624,9 @@ impl<T> PlanAheadQueue<T> {
                 worker_panicked: false,
                 ready: HashMap::new(),
                 max_ready: 0,
+                inflight: HashMap::new(),
+                reissue_queue: std::collections::VecDeque::new(),
+                churn: QueueChurn::default(),
             }),
             cv: Condvar::new(),
             window,
@@ -477,35 +638,73 @@ impl<T> PlanAheadQueue<T> {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Claim the next iteration to plan, blocking while the window is
-    /// full. Returns `None` once there is nothing left to plan (epoch
-    /// end, iteration cap, or cancellation).
+    /// Claim the next iteration to plan as worker `owner`, blocking while
+    /// the window is full. Re-issued tickets are served first. Returns
+    /// `None` once there is nothing left to plan (epoch end with no
+    /// ticket in flight, iteration cap, or cancellation).
     pub fn claim<D: std::ops::Deref<Target = Dataset>>(
         &self,
         stream: &BatchStream<D>,
-    ) -> Option<(usize, Vec<Sample>)> {
+        owner: usize,
+    ) -> Option<Ticket> {
         let mut st = self.lock();
         loop {
-            if st.cancelled || st.next_ticket >= self.cap {
+            if st.cancelled {
                 return None;
             }
-            if let Some(len) = st.epoch_len {
-                if st.next_ticket >= len {
+            // Re-issued tickets first: they are within the window by
+            // construction (claimed before), and the executor is
+            // blocked on them right now.
+            if let Some(index) = st.reissue_queue.pop_front() {
+                let e = st
+                    .inflight
+                    .get_mut(&index)
+                    .expect("re-issue queue only holds in-flight tickets");
+                e.queued = false;
+                e.owner = owner;
+                e.claimed_at = Instant::now();
+                return Some(Ticket {
+                    index,
+                    generation: e.generation,
+                    batch: e.batch.clone(),
+                });
+            }
+            let drained = st.next_ticket >= self.cap
+                || st.epoch_len.is_some_and(|len| st.next_ticket >= len);
+            if drained {
+                // Nothing fresh to claim — but a ticket still in flight
+                // may yet come back for re-issue (crash/straggle), so
+                // the pool only drains once the last ticket completes.
+                if st.inflight.is_empty() {
                     return None;
                 }
-            }
-            if st.next_ticket < st.next_consume + self.window {
+            } else if st.next_ticket < st.next_consume + self.window {
                 // Pull under the queue lock: ticket index == stream index.
                 match stream.next_batch() {
                     Some((idx, batch)) => {
                         debug_assert_eq!(idx, st.next_ticket);
                         st.next_ticket += 1;
-                        return Some((idx, batch));
+                        let batch = Arc::new(batch);
+                        st.inflight.insert(
+                            idx,
+                            Inflight {
+                                batch: batch.clone(),
+                                generation: 0,
+                                owner,
+                                queued: false,
+                                claimed_at: Instant::now(),
+                            },
+                        );
+                        return Some(Ticket {
+                            index: idx,
+                            generation: 0,
+                            batch,
+                        });
                     }
                     None => {
                         st.epoch_len = Some(st.next_ticket);
                         self.cv.notify_all();
-                        return None;
+                        continue; // re-evaluate as drained
                     }
                 }
             }
@@ -513,16 +712,112 @@ impl<T> PlanAheadQueue<T> {
         }
     }
 
-    /// Deliver a planned iteration (worker side).
-    pub fn complete(&self, index: usize, planned: T) {
+    /// Deliver a planned iteration (worker side). Completions are
+    /// first-wins per iteration: the first one is accepted (whatever its
+    /// generation — attempts are deterministic, so all produce the same
+    /// plan, and accepting the earliest also cancels a pending re-issue
+    /// that no worker picked up yet); any later duplicate is discarded
+    /// as [`CompleteOutcome::Stale`], so an iteration is never
+    /// double-executed.
+    pub fn complete(&self, index: usize, generation: u64, planned: T) -> CompleteOutcome {
         let mut st = self.lock();
-        if st.cancelled {
-            return; // speculative work past a failure: discard
+        match st.inflight.remove(&index) {
+            None => {
+                // Already completed by another attempt: a late
+                // straggler's duplicate. Discard, never overwrite — and
+                // count it even if the run has since been cancelled (a
+                // straggler that outlives the epoch is still a recovery
+                // the churn accounting must show).
+                st.churn.stale_completions += 1;
+                CompleteOutcome::Stale
+            }
+            Some(e) => {
+                if st.cancelled {
+                    return CompleteOutcome::Cancelled; // speculative work past a failure
+                }
+                if e.queued {
+                    // The original came through before any worker picked
+                    // up the re-issue: withdraw it, nothing to replan.
+                    st.reissue_queue.retain(|&i| i != index);
+                }
+                debug_assert!(generation <= e.generation, "generations only move forward");
+                st.ready.insert(index, planned);
+                debug_assert!(st.ready.len() <= self.window);
+                st.max_ready = st.max_ready.max(st.ready.len());
+                self.cv.notify_all();
+                CompleteOutcome::Accepted
+            }
         }
-        st.ready.insert(index, planned);
-        debug_assert!(st.ready.len() <= self.window);
-        st.max_ready = st.max_ready.max(st.ready.len());
+    }
+
+    /// Re-issue iteration `index` to a new claimant if its current
+    /// attempt has been in flight for at least `min_age` (typically the
+    /// caller's wait deadline, so a freshly re-claimed ticket is not
+    /// instantly invalidated again). Returns whether a re-issue was
+    /// queued — `false` if the ticket completed meanwhile, was never
+    /// claimed (the pool is merely behind, not stuck), or is already
+    /// queued for re-claim.
+    pub fn reissue(&self, index: usize, min_age: Duration) -> bool {
+        let mut st = self.lock();
+        let Some(e) = st.inflight.get_mut(&index) else {
+            return false;
+        };
+        if e.queued || e.claimed_at.elapsed() < min_age {
+            return false;
+        }
+        e.generation += 1;
+        e.queued = true;
+        st.reissue_queue.push_back(index);
+        st.churn.reissued += 1;
         self.cv.notify_all();
+        true
+    }
+
+    /// Hand a claimed ticket back without completing it (a worker that
+    /// learned its host "crashed" between claim and plan): the ticket is
+    /// re-queued for the surviving workers under a fresh generation.
+    /// No-op unless `owner` still holds the current attempt — a crashed
+    /// worker whose ticket was already re-issued to (and claimed by) a
+    /// healthy worker must not invalidate that live attempt.
+    pub fn abandon(&self, index: usize, owner: usize) {
+        let mut st = self.lock();
+        let Some(e) = st.inflight.get_mut(&index) else {
+            return; // completed concurrently — nothing to hand back
+        };
+        if e.queued || e.owner != owner {
+            return;
+        }
+        e.generation += 1;
+        e.queued = true;
+        st.reissue_queue.push_back(index);
+        st.churn.reissued += 1;
+        self.cv.notify_all();
+    }
+
+    /// Re-issue every in-flight ticket whose current holder satisfies
+    /// `owned_by` (crash recovery: the executor learned a planner host
+    /// died, so everything its workers held is handed to the survivors).
+    /// Returns how many tickets were re-queued.
+    pub fn reissue_claimed_by(&self, owned_by: impl Fn(usize) -> bool) -> usize {
+        let mut st = self.lock();
+        let mut indices: Vec<usize> = st
+            .inflight
+            .iter()
+            .filter(|(_, e)| !e.queued && owned_by(e.owner))
+            .map(|(&i, _)| i)
+            .collect();
+        indices.sort_unstable(); // deterministic re-claim order
+        for &index in &indices {
+            let e = st.inflight.get_mut(&index).expect("just listed");
+            e.generation += 1;
+            e.queued = true;
+            st.reissue_queue.push_back(index);
+            st.churn.reissued += 1;
+        }
+        if !indices.is_empty() {
+            self.cv.notify_all();
+        }
+        indices.len()
     }
 
     /// Block until iteration `index`'s outcome is available (executor
@@ -537,6 +832,24 @@ impl<T> PlanAheadQueue<T> {
     /// never arrive, and waiting on would deadlock (the worker's own
     /// panic surfaces when the scope joins it).
     pub fn wait_for(&self, index: usize) -> WaitOutcome<T> {
+        match self.wait_for_deadline(index, None) {
+            WaitOutcome::Deadline => unreachable!("unbounded wait cannot time out"),
+            outcome => outcome,
+        }
+    }
+
+    /// [`PlanAheadQueue::wait_for`] with a bounded wait: returns
+    /// [`WaitOutcome::Deadline`] if the plan is still outstanding after
+    /// `deadline` — the fail-stop alternative was an executor that hangs
+    /// forever on a planner that dies without panicking. The caller
+    /// typically responds with [`PlanAheadQueue::reissue`] and waits
+    /// again. `None` waits unboundedly.
+    pub fn wait_for_deadline(
+        &self,
+        index: usize,
+        deadline: Option<Duration>,
+    ) -> WaitOutcome<T> {
+        let give_up = deadline.map(|d| Instant::now() + d);
         let mut st = self.lock();
         loop {
             if st.worker_panicked {
@@ -553,8 +866,26 @@ impl<T> PlanAheadQueue<T> {
             if st.cancelled {
                 return WaitOutcome::Cancelled;
             }
-            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            match give_up {
+                None => st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner()),
+                Some(dl) => {
+                    let now = Instant::now();
+                    if now >= dl {
+                        return WaitOutcome::Deadline;
+                    }
+                    let (guard, _) = self
+                        .cv
+                        .wait_timeout(st, dl - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    st = guard;
+                }
+            }
         }
+    }
+
+    /// Churn counters: re-issues and discarded stale completions.
+    pub fn churn_stats(&self) -> QueueChurn {
+        self.lock().churn
     }
 
     /// Release iteration `index`'s window slot so the planner pool may
@@ -868,7 +1199,7 @@ pub fn run_training_pipelined(
     let nested_threads = (rayon::current_num_threads() / config.workers).max(1);
 
     std::thread::scope(|scope| {
-        for _ in 0..config.workers {
+        for worker in 0..config.workers {
             let queue = &queue;
             let stream = &stream;
             let store = store.as_ref();
@@ -878,7 +1209,8 @@ pub fn run_training_pipelined(
                     .build()
                     .expect("planner worker pool");
                 pool.install(|| {
-                    while let Some((index, batch)) = queue.claim(stream) {
+                    while let Some(ticket) = queue.claim(stream, worker) {
+                        let (index, batch) = (ticket.index, &ticket.batch);
                         let guard = TicketGuard::new(queue, store);
                         // The lowering stage runs on the worker either
                         // way, so the executor receives ready-to-run
@@ -886,7 +1218,7 @@ pub fn run_training_pipelined(
                         let planned = match store {
                             None => {
                                 let t_plan = Instant::now();
-                                let planned = planner.plan(&batch);
+                                let planned = planner.plan(batch);
                                 let plan_us = t_plan.elapsed().as_secs_f64() * 1e6;
                                 let t_lower = Instant::now();
                                 let outcome = planned.map(|p| lower_iteration(cm, p));
@@ -904,7 +1236,8 @@ pub fn run_training_pipelined(
                                     store,
                                     config.codec,
                                     index,
-                                    &batch,
+                                    batch,
+                                    DuplicatePush::Fail,
                                 );
                                 PlannedIteration {
                                     payload: PlannedPayload::Stored {
@@ -917,7 +1250,7 @@ pub fn run_training_pipelined(
                                 }
                             }
                         };
-                        queue.complete(index, planned);
+                        queue.complete(index, ticket.generation, planned);
                         guard.disarm();
                     }
                 });
@@ -943,6 +1276,9 @@ pub fn run_training_pipelined(
                         WaitOutcome::EndOfEpoch => break,
                         WaitOutcome::Cancelled => {
                             unreachable!("only the executor cancels, after this loop")
+                        }
+                        WaitOutcome::Deadline => {
+                            unreachable!("wait_for is unbounded")
                         }
                         WaitOutcome::Planned(p) => p,
                     };
@@ -984,6 +1320,9 @@ pub fn run_training_pipelined(
                                 WaitOutcome::EndOfEpoch => {
                                     let _ = tx.send(Prefetched::EndOfEpoch);
                                     return;
+                                }
+                                WaitOutcome::Deadline => {
+                                    unreachable!("wait_for is unbounded")
                                 }
                                 WaitOutcome::Planned(p) => p,
                             };
@@ -1310,6 +1649,134 @@ mod tests {
             "window slots bound store occupancy: {} > 2",
             store.peak_occupancy
         );
+    }
+
+    #[test]
+    fn deadline_then_reissue_recovers_a_straggling_ticket() {
+        // The bounded-wait recovery sequence, step by step: worker 0
+        // claims a ticket and stalls; the executor's bounded wait times
+        // out; the ticket is re-issued under a new generation; worker 1
+        // re-claims the very same (index, batch) and completes it; the
+        // straggler's late duplicate is discarded as stale — never
+        // double-completed.
+        let dataset = Dataset::flanv2(41, 200);
+        let stream = BatchStream::new(&dataset, gbs());
+        let queue: PlanAheadQueue<u32> = PlanAheadQueue::new(2, 4);
+
+        let t0 = queue.claim(&stream, 0).expect("fresh ticket");
+        assert_eq!((t0.index, t0.generation), (0, 0));
+
+        // Worker 0 never completes: the bounded wait must give up.
+        let deadline = Duration::from_millis(50);
+        match queue.wait_for_deadline(0, Some(deadline)) {
+            WaitOutcome::Deadline => {}
+            _ => panic!("a stalled ticket must surface as Deadline"),
+        }
+
+        // Re-issue: the ticket is older than the deadline, so it is
+        // queued for the next claimant under generation 1.
+        assert!(queue.reissue(0, deadline), "stalled ticket must re-issue");
+        assert!(
+            !queue.reissue(0, deadline),
+            "an already-queued ticket must not double-queue"
+        );
+
+        // Worker 1's next claim serves the re-issue, not a fresh pull:
+        // same index, same batch, bumped generation.
+        let t1 = queue.claim(&stream, 1).expect("re-issued ticket");
+        assert_eq!((t1.index, t1.generation), (0, 1));
+        assert!(Arc::ptr_eq(&t0.batch, &t1.batch), "same mini-batch");
+
+        // The healthy attempt completes; the executor unblocks.
+        assert_eq!(queue.complete(0, t1.generation, 7), CompleteOutcome::Accepted);
+        match queue.wait_for(0) {
+            WaitOutcome::Planned(v) => assert_eq!(v, 7),
+            _ => panic!("accepted completion must reach the executor"),
+        }
+
+        // The straggler finally finishes: discarded, not re-delivered.
+        assert_eq!(queue.complete(0, t0.generation, 9), CompleteOutcome::Stale);
+        assert_eq!(
+            queue.churn_stats(),
+            QueueChurn {
+                reissued: 1,
+                stale_completions: 1
+            }
+        );
+    }
+
+    #[test]
+    fn first_completion_wins_even_after_reissue() {
+        // A too-short deadline can spuriously re-issue a ticket that is
+        // merely slow. If the original then completes before any worker
+        // picks up the re-issue, it must be ACCEPTED (first-wins) and
+        // the pending re-issue withdrawn — otherwise a deadline shorter
+        // than planning time would livelock the queue.
+        let dataset = Dataset::flanv2(43, 200);
+        let stream = BatchStream::new(&dataset, gbs());
+        let queue: PlanAheadQueue<u32> = PlanAheadQueue::new(2, 4);
+
+        let t0 = queue.claim(&stream, 0).expect("fresh ticket");
+        assert!(queue.reissue(t0.index, Duration::ZERO), "spurious re-issue");
+        // Original completes first, with its now-outdated generation.
+        assert_eq!(queue.complete(t0.index, t0.generation, 5), CompleteOutcome::Accepted);
+        match queue.wait_for(0) {
+            WaitOutcome::Planned(v) => assert_eq!(v, 5),
+            _ => panic!("first completion must win"),
+        }
+        // The withdrawn re-issue must not be served to the next claimant
+        // as iteration 0 again: the next claim is a fresh index-1 pull.
+        let t1 = queue.claim(&stream, 1).expect("fresh ticket");
+        assert_eq!((t1.index, t1.generation), (1, 0));
+    }
+
+    #[test]
+    fn abandoned_ticket_is_reclaimed_at_epoch_end() {
+        // A worker that learns its host crashed hands its ticket back
+        // via abandon(); with the rest of the epoch already claimed, a
+        // surviving worker's claim must WAIT for (and serve) the
+        // abandoned ticket instead of returning None and stranding the
+        // executor.
+        let dataset = Dataset::flanv2(45, 200);
+        let stream = BatchStream::new(&dataset, gbs());
+        let queue: PlanAheadQueue<u32> = PlanAheadQueue::new(2, 1);
+
+        let t0 = queue.claim(&stream, 0).expect("fresh ticket");
+        queue.abandon(t0.index, 0);
+        queue.abandon(t0.index, 9); // wrong owner: must not double-queue
+        // The cap is exhausted, but the abandoned ticket is in flight:
+        // the claim must serve it rather than draining the pool.
+        let t1 = queue.claim(&stream, 1).expect("abandoned ticket re-served");
+        assert_eq!((t1.index, t1.generation), (0, 1));
+        // The dead original owner's late abandon must not invalidate the
+        // live attempt worker 1 now holds.
+        queue.abandon(t1.index, 0);
+        assert_eq!(queue.complete(0, 1, 3), CompleteOutcome::Accepted);
+        // Now the pool truly drains.
+        assert!(queue.claim(&stream, 1).is_none());
+    }
+
+    #[test]
+    fn reissue_claimed_by_requeues_a_dead_hosts_tickets() {
+        let dataset = Dataset::flanv2(47, 400);
+        let stream = BatchStream::new(&dataset, gbs());
+        let queue: PlanAheadQueue<u32> = PlanAheadQueue::new(4, 8);
+
+        let a = queue.claim(&stream, 0).expect("worker 0 ticket");
+        let b = queue.claim(&stream, 1).expect("worker 1 ticket");
+        let c = queue.claim(&stream, 2).expect("worker 2 ticket");
+        // Workers 0 and 1 lived on the host that just died.
+        assert_eq!(queue.reissue_claimed_by(|w| w < 2), 2);
+        // Their tickets come back in index order, generation bumped.
+        let r0 = queue.claim(&stream, 2).expect("re-issued");
+        let r1 = queue.claim(&stream, 2).expect("re-issued");
+        assert_eq!((r0.index, r0.generation), (a.index, 1));
+        assert_eq!((r1.index, r1.generation), (b.index, 1));
+        // The survivor's own ticket was untouched.
+        assert_eq!(queue.complete(c.index, c.generation, 1), CompleteOutcome::Accepted);
+        assert_eq!(queue.complete(r0.index, 1, 1), CompleteOutcome::Accepted);
+        assert_eq!(queue.complete(r1.index, 1, 1), CompleteOutcome::Accepted);
+        assert_eq!(queue.churn_stats().reissued, 2);
     }
 
     #[test]

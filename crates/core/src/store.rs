@@ -36,6 +36,15 @@
 //! * **tombstones** — consumption replaces the blob with a tombstone, so
 //!   a duplicate push of an already-consumed iteration is a detectable
 //!   error ([`StoreError::Consumed`]), not a silent resurrection;
+//! * **re-issue pushes** — under churn recovery an iteration may be
+//!   planned twice (the original straggler and the re-issued attempt
+//!   race to push the *byte-identical* blob). The elastic runtime pushes
+//!   through [`InstructionStore::push_discarding`]: whichever attempt
+//!   lands second hits the live key or the tombstone and is counted as
+//!   an explicit discard — never a silent overwrite, never an error that
+//!   kills a healthy run. The reconciliation invariant
+//!   `takes + discarded == pushes` therefore still closes to zero
+//!   orphaned blobs, duplicates included;
 //! * **poison** — [`InstructionStore::poison`] fails every current and
 //!   future blocking operation with [`StoreError::Poisoned`]; the runtime
 //!   poisons the store from a planner worker's unwind path (mirroring the
@@ -119,6 +128,16 @@ impl std::fmt::Display for StoreError {
 }
 
 impl std::error::Error for StoreError {}
+
+/// What [`InstructionStore::push_discarding`] did with the blob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The blob landed; a take will consume it.
+    Stored,
+    /// Another attempt's byte-identical blob was already there (live or
+    /// consumed): this push was counted and discarded at the door.
+    DiscardedDuplicate,
+}
 
 /// Store configuration.
 #[derive(Debug, Clone, Copy, Default)]
@@ -441,6 +460,31 @@ impl InstructionStore {
                     capacity,
                     waited: timeout,
                 })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Push like [`InstructionStore::push_blocking`], but treat a
+    /// duplicate key — live blob *or* tombstone — as an expected,
+    /// counted discard instead of an error. This is the push path for
+    /// re-issued work: planning is deterministic, so the racing original
+    /// and re-issue carry byte-identical blobs and whichever lands
+    /// second contributes nothing. The losing push still counts toward
+    /// [`StoreStats::pushes`] *and* [`StoreStats::discarded`], so
+    /// `takes + discarded == pushes` reconciles to zero orphans.
+    pub fn push_discarding(
+        &self,
+        iteration: usize,
+        blob: Vec<u8>,
+        timeout: Duration,
+    ) -> Result<PushOutcome, StoreError> {
+        match self.push_blocking(iteration, blob, timeout) {
+            Ok(()) => Ok(PushOutcome::Stored),
+            Err(StoreError::DuplicateKey(_)) | Err(StoreError::Consumed(_)) => {
+                self.pushes.fetch_add(1, Ordering::SeqCst);
+                self.discarded.fetch_add(1, Ordering::SeqCst);
+                Ok(PushOutcome::DiscardedDuplicate)
             }
             Err(e) => Err(e),
         }

@@ -240,6 +240,98 @@ fn network_delayed_pushers_preserve_exactly_once_and_fairness() {
 }
 
 #[test]
+fn racing_reissue_duplicates_discard_and_reconcile() {
+    // Churn recovery races two pushers per key: the "original" straggler
+    // and the "re-issued" attempt both push the byte-identical blob
+    // through the discarding path, with key-derived wire delays so either
+    // side can land first — before the take (live-key collision) or after
+    // it (tombstone collision). Exactly one blob per key must be taken,
+    // every losing push must be an explicit counted discard, and the
+    // reconciliation `takes + discarded == pushes` must close to zero
+    // orphans with the store empty.
+    use dynapipe_core::PushOutcome;
+
+    const KEYS: usize = 60;
+    const CAPACITY: usize = 6;
+
+    let store = Arc::new(InstructionStore::with_capacity(CAPACITY));
+    let discards = Arc::new(AtomicUsize::new(0));
+    let stored = Arc::new(AtomicUsize::new(0));
+    let take_next = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|s| {
+        // Two racing pusher lanes over the same keys: "original" and
+        // "re-issue". Each lane claims keys from its own counter so the
+        // push/take coupling stays roughly ascending per lane (the
+        // plan-ahead window's deadlock-freedom argument), while the two
+        // lanes race each other per key.
+        for lane in 0..2usize {
+            let store = store.clone();
+            let discards = discards.clone();
+            let stored = stored.clone();
+            s.spawn(move || {
+                for key in 0..KEYS {
+                    // Opposite delay phase per lane: which lane lands
+                    // first flips from key to key.
+                    let delay = if lane == 0 {
+                        link_delay_ms(key)
+                    } else {
+                        link_delay_ms(key + 3)
+                    };
+                    std::thread::sleep(Duration::from_millis(delay));
+                    match store
+                        .push_discarding(key, blob_for(key), WAIT)
+                        .unwrap_or_else(|e| panic!("push {key} lane {lane}: {e}"))
+                    {
+                        PushOutcome::Stored => {
+                            stored.fetch_add(1, Ordering::SeqCst);
+                        }
+                        PushOutcome::DiscardedDuplicate => {
+                            discards.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+            });
+        }
+        for _ in 0..2 {
+            let store = store.clone();
+            let take_next = take_next.clone();
+            s.spawn(move || loop {
+                let key = take_next.fetch_add(1, Ordering::SeqCst);
+                if key >= KEYS {
+                    return;
+                }
+                let blob = store
+                    .take_blocking(key, WAIT)
+                    .unwrap_or_else(|e| panic!("take {key}: {e}"));
+                assert_eq!(&*blob, blob_for(key).as_slice(), "blob {key} corrupted");
+            });
+        }
+    });
+
+    // Every key stored exactly once and discarded exactly once,
+    // whichever lane won the race.
+    assert_eq!(stored.load(Ordering::SeqCst), KEYS);
+    assert_eq!(discards.load(Ordering::SeqCst), KEYS);
+    let stats = store.stats();
+    assert_eq!(stats.pushes, 2 * KEYS as u64, "both lanes' pushes counted");
+    assert_eq!(stats.takes, KEYS as u64, "exactly-once consumption");
+    assert_eq!(stats.discarded, KEYS as u64, "every duplicate an explicit discard");
+    assert_eq!(
+        stats.takes + stats.discarded,
+        stats.pushes,
+        "re-issue reconciliation must close to zero orphans"
+    );
+    assert_eq!(stats.occupancy, 0, "store empty after the dust settles");
+    assert_eq!(stats.bytes, 0);
+    assert!(store.is_empty());
+    assert!(
+        stats.peak_occupancy <= CAPACITY,
+        "duplicate pushes must not breach the capacity gate: peak {} > {CAPACITY}",
+        stats.peak_occupancy
+    );
+}
+
+#[test]
 fn poison_releases_network_delayed_pushers() {
     // A planner crash must release *everything*: pushers already blocked
     // in the capacity gate, pushers still "on the wire" (sleeping before
