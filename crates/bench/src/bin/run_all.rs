@@ -48,6 +48,21 @@ fn main() {
     if smoke {
         println!("run_all --smoke: one capped iteration per bin\n");
     }
+    // The static-analysis gate runs first: if the determinism contract
+    // is broken at the source level, figure regeneration is meaningless.
+    // The lint binary is a workspace sibling, built into the same dir.
+    println!("================ dynapipe-lint ================\n");
+    match Command::new(dir.join("dynapipe-lint")).status() {
+        Ok(s) if s.success() => {}
+        Ok(s) => {
+            eprintln!("dynapipe-lint exited with {s}");
+            failures.push("dynapipe-lint");
+        }
+        Err(e) => {
+            eprintln!("could not launch dynapipe-lint: {e}");
+            failures.push("dynapipe-lint");
+        }
+    }
     for name in FIGURES {
         println!("\n================ {name} ================\n");
         let mut cmd = Command::new(dir.join(name));

@@ -309,8 +309,8 @@ mod tests {
         };
         std::thread::sleep(Duration::from_millis(20));
         assert_eq!(m.activate_next(), Some(1));
-        assert!(joined.join().unwrap(), "activated host must wake true");
+        assert!(joined.join().expect("joined waiter thread"), "activated host must wake true");
         m.shutdown();
-        assert!(!stranded.join().unwrap(), "shutdown must wake false");
+        assert!(!stranded.join().expect("stranded waiter thread"), "shutdown must wake false");
     }
 }

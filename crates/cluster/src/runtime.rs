@@ -127,6 +127,7 @@ pub fn run_training_cluster(
     // Window slots count store occupancy (ticket held from push to take),
     // so the capacity is a hard backstop, not an active gate.
     let store = InstructionStore::with_capacity(cluster.plan_ahead);
+    // lint:allow(wall-clock): host wall-clock for ClusterReport.host_wall_us, excluded from behavior_eq
     let t0 = Instant::now();
 
     // Planner-host roster: the configured hosts plus one slot per
@@ -397,6 +398,7 @@ pub fn run_training_cluster(
                     // already charges as downlink wire time.
                     let taken = store.take_blocking(it, STORE_WAIT);
                     queue.advance(it); // blob out of the store: slot free
+                    // lint:allow(wall-clock): decode timing for ExecutorHostStats.decode_us, a stats field only
                     let t_decode = Instant::now();
                     let decoded = taken.map_err(|e| format!("take: {e}")).and_then(|blob| {
                         StoredPlan::decode(cluster.codec, &blob)

@@ -125,6 +125,7 @@ impl BaselinePlanner {
 
     /// Plan one iteration with the baseline policy under 1F1B.
     pub fn plan_iteration(&self, minibatch: &[Sample]) -> Result<IterationPlan, PlanError> {
+        // lint:allow(wall-clock): planning-time measurement for RunReport stats, excluded from behavior_eq
         let t0 = Instant::now();
         let cm = &*self.cm;
         let (mbs, padding) = self.micro_batches(minibatch);

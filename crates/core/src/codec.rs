@@ -30,7 +30,7 @@
 //! JSON on bytes.
 
 use serde::{Error, Value};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Which wire encoding a [`crate::store::StoredPlan`] blob uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -118,7 +118,7 @@ const T_OBJECT: u8 = 9;
 
 struct BinaryEncoder {
     out: Vec<u8>,
-    interned: HashMap<String, u64>,
+    interned: BTreeMap<String, u64>,
 }
 
 impl BinaryEncoder {
@@ -128,7 +128,7 @@ impl BinaryEncoder {
         out.push(VERSION);
         BinaryEncoder {
             out,
-            interned: HashMap::new(),
+            interned: BTreeMap::new(),
         }
     }
 

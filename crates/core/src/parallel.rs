@@ -68,6 +68,7 @@ pub fn generate_plans_parallel(
     store: &InstructionStore,
 ) -> ParallelPlanStats {
     let workers = workers.max(1);
+    // lint:allow(wall-clock): wall-clock of the parallel planning pass, reported as stats only
     let t0 = std::time::Instant::now();
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(workers)

@@ -174,6 +174,7 @@ impl DynaPipePlanner {
 
     /// Plan one training iteration for `minibatch`.
     pub fn plan_iteration(&self, minibatch: &[Sample]) -> Result<IterationPlan, PlanError> {
+        // lint:allow(wall-clock): planning-time measurement for RunReport stats, excluded from behavior_eq
         let t0 = Instant::now();
         let cm = &*self.cm;
         if minibatch.is_empty() {

@@ -69,7 +69,7 @@
 
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -159,7 +159,7 @@ enum Slot {
 
 /// One shard: a keyed slice of the store plus its local counters.
 struct Shard {
-    map: RwLock<HashMap<usize, Slot>>,
+    map: RwLock<BTreeMap<usize, Slot>>,
     occupancy: AtomicUsize,
     bytes: AtomicU64,
     hits: AtomicU64,
@@ -169,7 +169,7 @@ struct Shard {
 impl Shard {
     fn new() -> Self {
         Shard {
-            map: RwLock::new(HashMap::new()),
+            map: RwLock::new(BTreeMap::new()),
             occupancy: AtomicUsize::new(0),
             bytes: AtomicU64::new(0),
             hits: AtomicU64::new(0),
@@ -312,15 +312,41 @@ impl InstructionStore {
         }
     }
 
-    fn lock_gate(&self) -> std::sync::MutexGuard<'_, GateState> {
-        self.gate.lock().unwrap_or_else(|e| e.into_inner())
+    /// Lock the FIFO gate. A poisoned std mutex means a holder panicked
+    /// mid-gate; rather than pressing on with `into_inner`, the failure
+    /// is routed through the store's own poison class so every pending
+    /// and future operation reports [`StoreError::Poisoned`] instead of
+    /// panicking deeper in the pipeline.
+    fn lock_gate(&self) -> Result<std::sync::MutexGuard<'_, GateState>, StoreError> {
+        match self.gate.lock() {
+            Ok(g) => Ok(g),
+            Err(_) => Err(self.poison_gate()),
+        }
+    }
+
+    /// Record gate poisoning in the store's failure class and wake all
+    /// waiters so nobody keeps blocking on a dead gate.
+    fn poison_gate(&self) -> StoreError {
+        const MSG: &str = "capacity gate mutex poisoned by a panicked holder";
+        {
+            let mut p = self.poisoned.write();
+            if p.is_none() {
+                *p = Some(MSG.to_string());
+            }
+        }
+        self.gate_cv.notify_all();
+        StoreError::Poisoned(MSG.to_string())
     }
 
     fn notify(&self) {
         // Empty critical section: a waiter holding the gate cannot race
-        // past its condition re-check before this notify lands.
-        drop(self.lock_gate());
-        self.gate_cv.notify_all();
+        // past its condition re-check before this notify lands. A
+        // poisoned gate already marked the store poisoned and woke all
+        // waiters, so there is nothing left to notify.
+        if let Ok(guard) = self.lock_gate() {
+            drop(guard);
+            self.gate_cv.notify_all();
+        }
     }
 
     fn bump_peak(&self, occ: usize) {
@@ -337,7 +363,7 @@ impl InstructionStore {
             self.bump_peak(self.occupancy.fetch_add(1, Ordering::SeqCst) + 1);
             return Ok(());
         };
-        let mut g = self.lock_gate();
+        let mut g = self.lock_gate()?;
         self.check_poison()?;
         if g.queue.is_empty() && g.reserved < cap {
             g.reserved += 1;
@@ -369,6 +395,7 @@ impl InstructionStore {
                 self.gate_cv.notify_all();
                 return Ok(());
             }
+            // lint:allow(wall-clock): FIFO-gate deadline re-check; timeout surfaces as CapacityTimeout, not as different bytes
             let now = Instant::now();
             if now >= dl {
                 g.queue.retain(|&t| t != ticket);
@@ -380,18 +407,21 @@ impl InstructionStore {
                     waited: Duration::ZERO,
                 });
             }
-            let (guard, _) = self
-                .gate_cv
-                .wait_timeout(g, dl - now)
-                .unwrap_or_else(|e| e.into_inner());
-            g = guard;
+            g = match self.gate_cv.wait_timeout(g, dl - now) {
+                Ok((guard, _)) => guard,
+                // The gate died while we waited: our queued ticket is
+                // unreachable, but so is everyone else's — the store is
+                // poisoned wholesale.
+                Err(_) => return Err(self.poison_gate()),
+            };
         }
     }
 
     fn release_slot(&self) {
         if self.capacity.is_some() {
-            let mut g = self.lock_gate();
-            g.reserved -= 1;
+            if let Ok(mut g) = self.lock_gate() {
+                g.reserved -= 1;
+            }
         }
         self.occupancy.fetch_sub(1, Ordering::SeqCst);
         self.notify();
@@ -452,6 +482,7 @@ impl InstructionStore {
         blob: Vec<u8>,
         timeout: Duration,
     ) -> Result<(), StoreError> {
+        // lint:allow(wall-clock): put-side backpressure deadline; bounds the wait, never the contents
         let deadline = Instant::now() + timeout;
         match self.reserve_slot(Some(deadline)) {
             Ok(()) => self.insert_reserved(iteration, &blob),
@@ -619,6 +650,7 @@ impl InstructionStore {
         iteration: usize,
         timeout: Duration,
     ) -> Result<Arc<[u8]>, StoreError> {
+        // lint:allow(wall-clock): take-side bounded wait deadline; timeout is a counted failure, not behavior
         let deadline = Instant::now() + timeout;
         let mut first = true;
         loop {
@@ -626,7 +658,7 @@ impl InstructionStore {
                 return Ok(blob);
             }
             first = false;
-            let guard = self.gate.lock().unwrap_or_else(|e| e.into_inner());
+            let guard = self.lock_gate()?;
             // Re-check under the gate so a push between our poll and the
             // wait cannot be missed.
             let present = matches!(
@@ -637,6 +669,7 @@ impl InstructionStore {
                 continue;
             }
             self.check_poison()?;
+            // lint:allow(wall-clock): deadline re-check in the take wait loop; wall-clock only
             let now = Instant::now();
             if now >= deadline {
                 return Err(StoreError::Timeout {
@@ -644,11 +677,10 @@ impl InstructionStore {
                     waited: timeout,
                 });
             }
-            let (g, _) = self
-                .gate_cv
-                .wait_timeout(guard, deadline - now)
-                .unwrap_or_else(|e| e.into_inner());
-            drop(g);
+            match self.gate_cv.wait_timeout(guard, deadline - now) {
+                Ok((g, _)) => drop(g),
+                Err(_) => return Err(self.poison_gate()),
+            }
         }
     }
 
@@ -685,8 +717,9 @@ impl InstructionStore {
         }
         if dropped > 0 {
             if self.capacity.is_some() {
-                let mut g = self.lock_gate();
-                g.reserved -= dropped;
+                if let Ok(mut g) = self.lock_gate() {
+                    g.reserved -= dropped;
+                }
             }
             self.occupancy.fetch_sub(dropped, Ordering::SeqCst);
             self.discarded.fetch_add(dropped as u64, Ordering::SeqCst);
@@ -801,12 +834,12 @@ mod tests {
     fn push_fetch_take_roundtrip() {
         let store = InstructionStore::new();
         assert!(store.is_empty());
-        store.push(3, blob(3)).unwrap();
-        store.push(4, blob(4)).unwrap();
+        store.push(3, blob(3)).expect("push 3 into empty store");
+        store.push(4, blob(4)).expect("push 4 into empty store");
         assert_eq!(store.len(), 2);
         assert!(store.fetch(3).is_some());
         assert_eq!(store.len(), 2, "fetch does not consume");
-        assert_eq!(&*store.take(3).unwrap().unwrap(), blob(3).as_slice());
+        assert_eq!(&*store.take(3).expect("take 3 after push").expect("blob 3 present"), blob(3).as_slice());
         assert_eq!(store.len(), 1);
         assert!(store.fetch(99).is_none());
         let st = store.stats();
@@ -820,15 +853,15 @@ mod tests {
         // Pinned: `push` must never silently overwrite (the old store
         // did — a duplicate planner ticket would clobber a plan).
         let store = InstructionStore::new();
-        store.push(7, blob(7)).unwrap();
+        store.push(7, blob(7)).expect("push 7 into empty store");
         assert_eq!(store.push(7, b"other".to_vec()), Err(StoreError::DuplicateKey(7)));
-        assert_eq!(&*store.fetch(7).unwrap(), blob(7).as_slice(), "push must not clobber");
-        let old = store.replace(7, b"other".to_vec()).unwrap();
-        assert_eq!(&*old.unwrap(), blob(7).as_slice());
-        assert_eq!(&*store.fetch(7).unwrap(), b"other");
+        assert_eq!(&*store.fetch(7).expect("blob 7 live"), blob(7).as_slice(), "push must not clobber");
+        let old = store.replace(7, b"other".to_vec()).expect("replace live key");
+        assert_eq!(&*old.expect("replace returns the old blob"), blob(7).as_slice());
+        assert_eq!(&*store.fetch(7).expect("blob 7 live"), b"other");
         assert_eq!(store.len(), 1);
         // Replace of an absent key inserts.
-        assert!(store.replace(8, blob(8)).unwrap().is_none());
+        assert!(store.replace(8, blob(8)).expect("replace absent key inserts").is_none());
         assert_eq!(store.len(), 2);
         // Byte accounting followed the replace.
         assert_eq!(
@@ -842,8 +875,8 @@ mod tests {
         // Pinned: taking leaves a tombstone; the key can never be
         // resurrected by a late (stale) push or replaced.
         let store = InstructionStore::new();
-        store.push(5, blob(5)).unwrap();
-        assert!(store.take(5).unwrap().is_some());
+        store.push(5, blob(5)).expect("push 5 into empty store");
+        assert!(store.take(5).expect("take 5 after push").is_some());
         assert_eq!(store.take(5), Err(StoreError::Consumed(5)));
         assert_eq!(store.push(5, blob(5)), Err(StoreError::Consumed(5)));
         assert_eq!(store.replace(5, blob(5)), Err(StoreError::Consumed(5)));
@@ -854,7 +887,7 @@ mod tests {
     #[test]
     fn capacity_backpressure_blocks_push_until_take() {
         let store = Arc::new(InstructionStore::with_capacity(1));
-        store.push(0, blob(0)).unwrap();
+        store.push(0, blob(0)).expect("push 0 fills capacity 1");
         // Non-blocking push reports capacity exhaustion immediately.
         assert!(matches!(
             store.push(1, blob(1)),
@@ -866,9 +899,12 @@ mod tests {
         });
         // The blocked pusher proceeds as soon as the slot frees.
         std::thread::sleep(Duration::from_millis(20));
-        assert!(store.take(0).unwrap().is_some());
-        pusher.join().unwrap().unwrap();
-        assert_eq!(&*store.fetch(1).unwrap(), blob(1).as_slice());
+        assert!(store.take(0).expect("take 0 frees the slot").is_some());
+        pusher
+            .join()
+            .expect("pusher thread")
+            .expect("blocked push proceeds after take");
+        assert_eq!(&*store.fetch(1).expect("blob 1 live after blocked push"), blob(1).as_slice());
         assert_eq!(store.stats().peak_occupancy, 1);
     }
 
@@ -886,11 +922,12 @@ mod tests {
         let store = Arc::new(InstructionStore::new());
         let st = store.clone();
         let taker = std::thread::spawn(move || {
-            st.take_blocking(9, Duration::from_secs(30)).unwrap()
+            st.take_blocking(9, Duration::from_secs(30))
+                .expect("take sees the concurrent push")
         });
         std::thread::sleep(Duration::from_millis(10));
-        store.push(9, blob(9)).unwrap();
-        assert_eq!(&*taker.join().unwrap(), blob(9).as_slice());
+        store.push(9, blob(9)).expect("push 9 wakes the taker");
+        assert_eq!(&*taker.join().expect("taker thread"), blob(9).as_slice());
         assert!(store.is_empty());
     }
 
@@ -901,7 +938,7 @@ mod tests {
         let taker = std::thread::spawn(move || st.take_blocking(1, Duration::from_secs(30)));
         std::thread::sleep(Duration::from_millis(10));
         store.poison("planner worker died");
-        match taker.join().unwrap() {
+        match taker.join().expect("taker thread") {
             Err(StoreError::Poisoned(r)) => assert!(r.contains("died")),
             other => panic!("expected poison, got {other:?}"),
         }
@@ -913,9 +950,9 @@ mod tests {
     fn clear_remaining_discards_live_blobs_only() {
         let store = InstructionStore::new();
         for i in 0..6 {
-            store.push(i, blob(i)).unwrap();
+            store.push(i, blob(i)).expect("seed pushes");
         }
-        assert!(store.take(2).unwrap().is_some());
+        assert!(store.take(2).expect("take 2 before the clear").is_some());
         assert_eq!(store.clear_remaining(), 5);
         assert!(store.is_empty());
         let st = store.stats();
@@ -935,7 +972,7 @@ mod tests {
                 let st = store.clone();
                 s.spawn(move || {
                     for i in (w..100).step_by(4) {
-                        st.push(i, blob(i)).unwrap();
+                        st.push(i, blob(i)).expect("concurrent pushes hit distinct keys");
                     }
                 });
             }
@@ -946,7 +983,7 @@ mod tests {
                 let st = store.clone();
                 s.spawn(move || {
                     for i in (w..100).step_by(4) {
-                        assert!(st.take(i).unwrap().is_some());
+                        assert!(st.take(i).expect("concurrent takes hit live keys").is_some());
                     }
                 });
             }

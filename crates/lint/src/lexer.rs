@@ -1,0 +1,341 @@
+//! A token-level Rust lexer: just enough structure to tell identifiers
+//! from the insides of strings and comments, which is the difference
+//! between a static analyzer and `grep`. Handles line and (nested)
+//! block comments, string/byte-string literals, raw strings with any
+//! number of `#`s, char literals vs lifetimes, and numeric literals.
+//! No dependency on `syn` or `proc-macro2` — the build environment is
+//! offline and the analyzer must never compete with the code it audits.
+
+/// Kind of a lexed token. Punctuation is kept as single characters;
+/// rules that need `::` match two consecutive `:` tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `let`, `HashMap`, ...).
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// String literal of any flavor (`"…"`, `b"…"`, `r#"…"#`). The
+    /// token text is the raw source slice including quotes; rules never
+    /// look inside it — that is the point.
+    Str,
+    /// Char literal (`'a'`, `'\n'`).
+    Char,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// Lifetime (`'a`, `'_`, `'static`).
+    Lifetime,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A line comment (`//…`), recorded for waiver parsing. Block comments
+/// are skipped entirely: waivers must be line comments so that they sit
+/// on, or directly above, the line they excuse.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    /// Text after the leading `//` (and any further `/` or `!`).
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus the line comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_ascii_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_ascii_alphanumeric()
+}
+
+/// Lex `src` into tokens and comments. The lexer is forgiving: on
+/// malformed input (unterminated string, stray byte) it consumes one
+/// character and keeps going — an analyzer should degrade, not abort.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Lexed::default();
+
+    // Advance over `chars[from..to)` counting newlines.
+    let count_lines = |chars: &[char], from: usize, to: usize, line: &mut u32| {
+        for &c in &chars[from..to] {
+            if c == '\n' {
+                *line += 1;
+            }
+        }
+    };
+
+    while i < n {
+        let c = b[i];
+
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && i + 1 < n {
+            match b[i + 1] {
+                '/' => {
+                    let start = i + 2;
+                    let mut j = start;
+                    while j < n && b[j] != '\n' {
+                        j += 1;
+                    }
+                    let text: String = b[start..j].iter().collect();
+                    out.comments.push(Comment { line, text });
+                    i = j; // the newline itself is handled above
+                    continue;
+                }
+                '*' => {
+                    // Nested block comment.
+                    let mut depth = 1usize;
+                    let mut j = i + 2;
+                    while j < n && depth > 0 {
+                        if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                            depth += 1;
+                            j += 2;
+                        } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                            depth -= 1;
+                            j += 2;
+                        } else {
+                            if b[j] == '\n' {
+                                line += 1;
+                            }
+                            j += 1;
+                        }
+                    }
+                    i = j;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+
+        // Raw / byte string prefixes: r"…", r#"…"#, b"…", br#"…"#.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let mut j = i + 1;
+            let mut raw = c == 'r';
+            if c == 'b' && j < n && b[j] == 'r' {
+                raw = true;
+                j += 1;
+            }
+            if raw {
+                let mut hashes = 0usize;
+                while j < n && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && b[j] == '"' {
+                    // Raw string: scan to `"` followed by `hashes` #s.
+                    let start = i;
+                    j += 1;
+                    'raw: while j < n {
+                        if b[j] == '"' {
+                            let mut k = 0usize;
+                            while k < hashes && j + 1 + k < n && b[j + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        j += 1;
+                    }
+                    let tline = line;
+                    count_lines(&b, start, j, &mut line);
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: b[start..j].iter().collect(),
+                        line: tline,
+                    });
+                    i = j;
+                    continue;
+                }
+            } else if c == 'b' && b[j] == '"' {
+                // Cooked byte string — fall through to the `"` arm by
+                // consuming the prefix here.
+                let start = i;
+                let mut k = j + 1;
+                while k < n {
+                    if b[k] == '\\' {
+                        k += 2;
+                        continue;
+                    }
+                    if b[k] == '"' {
+                        k += 1;
+                        break;
+                    }
+                    k += 1;
+                }
+                let tline = line;
+                count_lines(&b, start, k.min(n), &mut line);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: b[start..k.min(n)].iter().collect(),
+                    line: tline,
+                });
+                i = k.min(n);
+                continue;
+            }
+        }
+
+        // Cooked string.
+        if c == '"' {
+            let start = i;
+            let mut j = i + 1;
+            while j < n {
+                if b[j] == '\\' {
+                    j += 2;
+                    continue;
+                }
+                if b[j] == '"' {
+                    j += 1;
+                    break;
+                }
+                j += 1;
+            }
+            let tline = line;
+            count_lines(&b, start, j.min(n), &mut line);
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text: b[start..j.min(n)].iter().collect(),
+                line: tline,
+            });
+            i = j.min(n);
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if i + 1 < n && b[i + 1] == '\\' {
+                // Escaped char literal: '\n', '\'', '\u{…}'.
+                let start = i;
+                let mut j = i + 2;
+                if j < n && b[j] == 'u' && j + 1 < n && b[j + 1] == '{' {
+                    while j < n && b[j] != '}' {
+                        j += 1;
+                    }
+                }
+                while j < n && b[j] != '\'' {
+                    j += 1;
+                }
+                j = (j + 1).min(n);
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: b[start..j].iter().collect(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            if i + 2 < n && b[i + 2] == '\'' && b[i + 1] != '\'' {
+                // Plain char literal 'x'.
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: b[i..i + 3].iter().collect(),
+                    line,
+                });
+                i += 3;
+                continue;
+            }
+            // Lifetime.
+            let start = i;
+            let mut j = i + 1;
+            while j < n && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Lifetime,
+                text: b[start..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let start = i;
+            let mut j = i + 1;
+            while j < n && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: b[start..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Numeric literal. Loose: digits, base prefixes, suffixes, one
+        // fractional part (careful not to eat the `..` of a range).
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i + 1;
+            while j < n && (is_ident_continue(b[j])) {
+                j += 1;
+            }
+            if j + 1 < n && b[j] == '.' && b[j + 1].is_ascii_digit() {
+                j += 1;
+                while j < n && (b[j].is_ascii_digit() || b[j] == '_' || b[j] == 'e' || b[j] == 'E')
+                {
+                    j += 1;
+                }
+                // Float suffix (f32/f64).
+                while j < n && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Num,
+                text: b[start..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Everything else: single punctuation character.
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+
+    out
+}

@@ -1,0 +1,28 @@
+//! Fixture: lexer edge cases. Every forbidden pattern below lives
+//! inside a string, char, or comment — a grep-grade scanner would flag
+//! all of them; the lexer must flag none.
+
+/* Block comment mentioning Instant::now() and map.iter().
+   /* Nested block comment: HashMap keys() values() */
+   Still inside the outer comment: SystemTime::now() */
+
+fn strings() -> Vec<String> {
+    vec![
+        "Instant::now() // fake".to_string(),
+        "// lint:allow(wall-clock): fake waiver inside a string".to_string(),
+        r#"raw string with map.iter() and "quotes" inside"#.to_string(),
+        r##"raw with hashes: thread::current().id() and a lone " mark"##.to_string(),
+        String::from_utf8_lossy(b"byte string with SystemTime inside").to_string(),
+    ]
+}
+
+fn chars_and_lifetimes<'a>(x: &'a str) -> (&'a str, char, char, char) {
+    // 'a above is a lifetime; the literals below are chars.
+    (x, 'i', '\n', '\'')
+}
+
+fn escaped() -> String {
+    // The escaped quote must not end the string early and expose
+    // the Instant::now() text to the token stream.
+    "prefix \" Instant::now() suffix".to_string()
+}

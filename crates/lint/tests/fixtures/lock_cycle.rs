@@ -1,0 +1,32 @@
+//! Fixture: a textbook AB/BA lock-order inversion, plus a helper-level
+//! cycle reached through one level of call propagation.
+
+use std::sync::Mutex;
+
+struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    fn forward(&self) -> u64 {
+        let ga = self.a.lock().expect("a");
+        let gb = self.b.lock().expect("b"); // edge a -> b
+        *ga + *gb
+    }
+
+    fn backward(&self) -> u64 {
+        let gb = self.b.lock().expect("b");
+        let ga = self.a.lock().expect("a"); // edge b -> a: cycle!
+        *ga + *gb
+    }
+
+    fn bump_b(&self) {
+        *self.b.lock().expect("b") += 1;
+    }
+
+    fn via_helper(&self) {
+        let _ga = self.a.lock().expect("a");
+        self.bump_b(); // edge a -> b through the helper
+    }
+}

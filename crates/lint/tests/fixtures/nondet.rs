@@ -1,0 +1,42 @@
+//! Fixture: every rule-1 nondeterminism source, unwaived.
+//! Not compiled — parsed by the fixture tests only.
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Instant, SystemTime};
+
+struct Planner {
+    cache: HashMap<u64, Vec<u8>>,
+}
+
+fn wall_clock() -> f64 {
+    let t0 = Instant::now(); // finding: wall-clock
+    let _epoch = SystemTime::now(); // finding: wall-clock (SystemTime)
+    t0.elapsed().as_secs_f64()
+}
+
+fn who_am_i() -> String {
+    format!("{:?}", std::thread::current().id()) // finding: thread-id
+}
+
+fn leak_order(p: &Planner) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (k, _) in p.cache.iter() {
+        // finding: hash-iter (.iter() on a HashMap field)
+        out.push(*k);
+    }
+    out
+}
+
+fn leak_keys(p: &Planner) -> usize {
+    p.cache.keys().count() // finding: hash-iter (.keys())
+}
+
+fn leak_for_loop() -> u64 {
+    let seen: HashSet<u64> = HashSet::new();
+    let mut acc = 0;
+    for v in &seen {
+        // finding: hash-iter (for over a HashSet binding)
+        acc += v;
+    }
+    acc
+}

@@ -1,0 +1,15 @@
+//! Fixture: panics inside recovery paths. `reissue_tickets` matches the
+//! recovery keyword list; `calm_path` does not and must stay clean.
+
+fn reissue_tickets(holders: &mut Vec<Option<usize>>) -> usize {
+    let first = holders.first().unwrap(); // finding: recovery-panic
+    let _ = first;
+    let last = holders.last().expect(""); // finding: unmessaged expect
+    let _ = last;
+    holders.len()
+}
+
+fn calm_path(xs: &[u8]) -> u8 {
+    // Same patterns outside a recovery region: not findings.
+    *xs.first().unwrap()
+}

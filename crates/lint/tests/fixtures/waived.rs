@@ -1,0 +1,18 @@
+//! Fixture: waiver handling. One violation is properly waived with a
+//! reason, one carries a reasonless waiver (which covers nothing and is
+//! itself a finding).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn timed() -> f64 {
+    // lint:allow(wall-clock): stats-only timing, excluded from behavior_eq
+    let t0 = Instant::now(); // waived
+    t0.elapsed().as_secs_f64()
+}
+
+fn leaky() -> u32 {
+    let m: HashMap<u32, u32> = HashMap::new();
+    // lint:allow(hash-iter):
+    m.keys().sum() // NOT waived: the waiver above has no reason
+}

@@ -261,6 +261,7 @@ impl Engine {
 
     /// Run the simulation to completion.
     pub fn run(&self) -> Result<SimResult, SimError> {
+        // lint:allow(wall-clock): simulation host wall-clock for SimResult.host_wall_us, excluded from behavior_eq
         let host_t0 = std::time::Instant::now();
         let n = self.programs.len();
         for (d, p) in self.programs.iter().enumerate() {

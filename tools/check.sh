@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local gate: build + static analysis + tests, warnings fatal.
+# This is the tier-1 verify line plus -Dwarnings; CI and pre-push hooks
+# should run exactly this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
+
+echo "== build (release, -D warnings) =="
+cargo build --release --workspace
+
+echo "== dynapipe-lint =="
+cargo run --release -p dynapipe-lint
+
+echo "== tests (workspace) =="
+cargo test -q --workspace
+
+echo "check.sh: all gates passed"
