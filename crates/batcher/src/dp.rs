@@ -74,9 +74,24 @@ pub struct DpConfig {
     /// planner-side analogue of the paper's fixed-interval sampling, tuned
     /// for the reproduction's single-process experiment sweeps.
     pub max_candidates: usize,
+    /// Bracket fraction at which the golden-section seed probe stops:
+    /// the probe narrows until the bracket spans fewer than
+    /// `(candidates / probe_stop_divisor).max(2)` candidates, then hands
+    /// its best objective to the ascending sweep as the prune bound.
+    /// Purely a performance knob — the sweep resolves the exact argmin
+    /// regardless, so the partition is bit-identical for any value
+    /// (pinned by `probe_stop_divisor_never_changes_the_partition`).
+    /// Default chosen by the `dp_partitioner/probe_stop_divisor` bench
+    /// sweep on the fig17 workload.
+    pub probe_stop_divisor: usize,
 }
 
 impl DpConfig {
+    /// Shipped [`DpConfig::probe_stop_divisor`]: winner of the
+    /// `dp_partitioner/probe_stop_divisor` bench sweep (4/8/16/32/64)
+    /// on the fig17 workload.
+    pub const PROBE_STOP_DIVISOR: usize = 16;
+
     /// Defaults matching the paper's evaluation settings.
     pub fn new(mb_memory_limit: Bytes) -> Self {
         DpConfig {
@@ -86,6 +101,7 @@ impl DpConfig {
             recompute: RecomputeMode::None,
             dp_degree: 1,
             max_candidates: 96,
+            probe_stop_divisor: Self::PROBE_STOP_DIVISOR,
         }
     }
 }
@@ -731,7 +747,8 @@ impl<'a> Partitioner<'a> {
             // Stop once the bracket is a small fraction of the candidate
             // set: by then the bound sits near the basin floor, and the
             // ascending sweep resolves the exact argmin anyway.
-            let stop = (candidates.len() / 16).max(2);
+            let divisor = self.config.probe_stop_divisor.max(1);
+            let stop = (candidates.len() / divisor).max(2);
             let mut eval = |i: usize| -> Micros {
                 if cache[i].is_none() {
                     cache[i] = Some(rows.solve(n, candidates[i]));
@@ -1102,6 +1119,47 @@ mod tests {
                 );
                 assert_eq!(fast.est_iteration_time, reference.est_iteration_time);
                 assert_eq!(fast.t_max, reference.t_max);
+            }
+        }
+    }
+
+    #[test]
+    fn probe_stop_divisor_never_changes_the_partition() {
+        // The probe-stop divisor moves the point where the golden-section
+        // probe hands off to the ascending sweep — a pure perf knob. Any
+        // value must give a partition bit-identical to the serial
+        // full-sweep reference: divisor 1 stops the probe almost
+        // immediately (bracket < len), huge divisors drive the bracket
+        // down to the `.max(2)` floor.
+        for (pp, n, seed, dp_degree) in [(4, 60, 2, 1), (16, 80, 3, 4)] {
+            let cm = cm(pp);
+            let mut samples = mixed(n, seed);
+            sort_samples(cm.model.arch, &mut samples);
+            let limit = cm.mb_activation_max(
+                &MicroBatchShape::gpt(4, 6200),
+                RecomputeMode::None,
+            );
+            for mb_memory_limit in [Bytes::MAX / 4, limit] {
+                let reference = {
+                    let mut cfg = DpConfig::new(mb_memory_limit);
+                    cfg.dp_degree = dp_degree;
+                    Partitioner::new(&cm, cfg)
+                        .partition_reference(&samples)
+                        .unwrap()
+                };
+                for divisor in [1usize, 4, 8, 16, 64, usize::MAX] {
+                    let mut cfg = DpConfig::new(mb_memory_limit);
+                    cfg.dp_degree = dp_degree;
+                    cfg.probe_stop_divisor = divisor;
+                    let fast = Partitioner::new(&cm, cfg).partition(&samples).unwrap();
+                    assert_eq!(
+                        fast.ranges, reference.ranges,
+                        "pp={pp} divisor={divisor}: probe stop changed the partition"
+                    );
+                    assert_eq!(fast.est_iteration_time, reference.est_iteration_time);
+                    assert_eq!(fast.t_max, reference.t_max);
+                    assert_eq!(fast.mb_times, reference.mb_times);
+                }
             }
         }
     }

@@ -64,6 +64,27 @@ fn bench_partitioner(c: &mut Criterion) {
             },
         );
     }
+    // Ablation: golden-section probe stop (the bracket fraction at which
+    // the seed probe hands its prune bound to the ascending sweep). The
+    // partition is bit-identical across the whole range (pure perf knob);
+    // the shipped default is `DpConfig::PROBE_STOP_DIVISOR`, the winner
+    // of this sweep on the fig17 workload.
+    for divisor in [4usize, 8, 16, 32, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("probe_stop_divisor", divisor),
+            &samples,
+            |b, samples| {
+                let mut cfg = DpConfig::new(cm.min_activation_budget());
+                cfg.probe_stop_divisor = divisor;
+                let p = Partitioner::new(&cm, cfg);
+                b.iter(|| {
+                    p.partition(std::hint::black_box(samples))
+                        .unwrap()
+                        .est_iteration_time
+                })
+            },
+        );
+    }
     // The pricing layer in isolation: scalar per-shape grid queries vs
     // one batched solve against a shared query plan (what the cost pass
     // does per mode). Run on the distinct shapes of a 65k-token

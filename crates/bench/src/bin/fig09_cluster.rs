@@ -12,8 +12,10 @@
 //!   pool on separate hosts, replicas split across executor hosts, every
 //!   plan blob paying α-β wire cost into and out of the store;
 //!
-//! each with both [`PlanCodec`]s, so the artifact shows what the binary
-//! codec buys on a real multi-host wire.
+//! each with all three [`PlanCodec`]s, so the artifact shows what the
+//! binary codec buys on a real multi-host wire — and what the zero-copy
+//! flat codec buys on top of it (executors run engines straight over
+//! the downlink bytes; decode is validate-and-wrap).
 //!
 //! A **churn arm** (PR 6) then replays the `2p×1w→2e` deployment per
 //! codec under a scripted worst-of-every-class [`ChurnScript`] — a
@@ -39,7 +41,11 @@
 //!    container they measure the scheduler, not the codec), or
 //! 4. recovery cost is unbounded: a churned arm's wall exceeds
 //!    `3 × undisturbed + 5 s` (the slack covers the injected straggle
-//!    sleep and scheduler noise on a small container).
+//!    sleep and scheduler noise on a small container), or
+//! 5. the flat codec stops being zero-copy: its controlled decode
+//!    (validate-and-wrap, `FlatPlanRef::new`) must stay under **0.2×**
+//!    the binary codec's tree rebuild, and its fixed-width arena must
+//!    stay within **1.25×** the binary blob bytes.
 
 use dynapipe_bench::{write_json, write_root_artifact, BenchOpts};
 use dynapipe_cluster::{run_training_cluster, ChurnEvent, ChurnScript, ClusterConfig, ClusterReport};
@@ -68,11 +74,18 @@ struct ChurnArm {
 
 /// Controlled per-model codec measurement: one real lowered plan blob,
 /// decoded `DECODE_REPS` times per codec with nothing else running.
+/// "Decode" for the tree codecs is `StoredPlan::decode` (a full owned
+/// tree rebuild); for Flat it is `FlatPlanRef::new` — header/record
+/// validation plus wrapping the `Arc<[u8]>`, after which engines run
+/// straight over the wire bytes. That asymmetry is the point of the
+/// comparison: it is exactly what the cluster prefetcher pays per blob.
 struct CodecBench {
     json_bytes: usize,
     binary_bytes: usize,
+    flat_bytes: usize,
     json_decode_us: f64,
     binary_decode_us: f64,
+    flat_decode_us: f64,
 }
 
 const DECODE_REPS: usize = 5;
@@ -115,11 +128,29 @@ fn codec_microbench(
     };
     let (json_bytes, json_decode_us) = time_decode(PlanCodec::Json);
     let (binary_bytes, binary_decode_us) = time_decode(PlanCodec::Binary);
+    // Flat decode = validate + wrap the shared bytes (no tree build):
+    // the blob is materialized once outside the timed region, and each
+    // rep pays only the `FlatPlanRef::new` validation pass over a cheap
+    // `Arc` clone — the same cost the prefetcher pays per fetched blob.
+    let flat_blob: Arc<[u8]> = Arc::from(stored.encode(PlanCodec::Flat).into_boxed_slice());
+    let flat_bytes = flat_blob.len();
+    let mut flat_decode_us = f64::INFINITY;
+    for _pass in 0..3 {
+        let t = Instant::now();
+        for _ in 0..DECODE_REPS {
+            let view = dynapipe_core::FlatPlanRef::new(flat_blob.clone())
+                .expect("own flat blob validates");
+            std::hint::black_box(&view);
+        }
+        flat_decode_us = flat_decode_us.min(t.elapsed().as_secs_f64() * 1e6);
+    }
     CodecBench {
         json_bytes,
         binary_bytes,
+        flat_bytes,
         json_decode_us,
         binary_decode_us,
+        flat_decode_us,
     }
 }
 
@@ -331,17 +362,22 @@ fn main() {
     };
     let json_blob_bytes = codec_total("json", &|s| s.mean_blob_bytes);
     let binary_blob_bytes = codec_total("binary", &|s| s.mean_blob_bytes);
+    let flat_blob_bytes = codec_total("flat", &|s| s.mean_blob_bytes);
     let json_decode_us: f64 = outcomes.iter().map(|o| o.codec_bench.json_decode_us).sum();
     let binary_decode_us: f64 = outcomes
         .iter()
         .map(|o| o.codec_bench.binary_decode_us)
         .sum();
+    let flat_decode_us: f64 = outcomes.iter().map(|o| o.codec_bench.flat_decode_us).sum();
     println!(
-        "\n  codec A/B: binary blobs at {:.1}% of JSON bytes; decode ({DECODE_REPS}x, \
-         controlled) {:.2} ms vs {:.2} ms",
+        "\n  codec A/B/C: binary blobs at {:.1}% of JSON bytes, flat at {:.1}% of binary; \
+         decode ({DECODE_REPS}x, controlled) json {:.2} ms, binary {:.2} ms, \
+         flat {:.4} ms (validate-and-wrap, no tree build)",
         100.0 * binary_blob_bytes / json_blob_bytes.max(1.0),
-        binary_decode_us / 1e3,
+        100.0 * flat_blob_bytes / binary_blob_bytes.max(1.0),
         json_decode_us / 1e3,
+        binary_decode_us / 1e3,
+        flat_decode_us / 1e3,
     );
 
     let per_model = serde_json::Value::Object(
@@ -368,12 +404,20 @@ fn main() {
                                     serde_json::json!(o.codec_bench.binary_bytes),
                                 ),
                                 (
+                                    "flat_bytes".to_string(),
+                                    serde_json::json!(o.codec_bench.flat_bytes),
+                                ),
+                                (
                                     "json_decode_us".to_string(),
                                     serde_json::json!(o.codec_bench.json_decode_us),
                                 ),
                                 (
                                     "binary_decode_us".to_string(),
                                     serde_json::json!(o.codec_bench.binary_decode_us),
+                                ),
+                                (
+                                    "flat_decode_us".to_string(),
+                                    serde_json::json!(o.codec_bench.flat_decode_us),
                                 ),
                                 ("decode_reps".to_string(), serde_json::json!(DECODE_REPS)),
                             ]),
@@ -451,8 +495,16 @@ fn main() {
             serde_json::json!(binary_blob_bytes),
         ),
         (
+            "flat_blob_bytes".to_string(),
+            serde_json::json!(flat_blob_bytes),
+        ),
+        (
             "binary_to_json_bytes_ratio".to_string(),
             serde_json::json!(binary_blob_bytes / json_blob_bytes.max(1.0)),
+        ),
+        (
+            "flat_to_binary_bytes_ratio".to_string(),
+            serde_json::json!(flat_blob_bytes / binary_blob_bytes.max(1.0)),
         ),
         (
             "json_decode_us".to_string(),
@@ -461,6 +513,14 @@ fn main() {
         (
             "binary_decode_us".to_string(),
             serde_json::json!(binary_decode_us),
+        ),
+        (
+            "flat_decode_us".to_string(),
+            serde_json::json!(flat_decode_us),
+        ),
+        (
+            "flat_to_binary_decode_ratio".to_string(),
+            serde_json::json!(flat_decode_us / binary_decode_us.max(1e-9)),
         ),
         (
             "churn_overhead_us".to_string(),
@@ -518,6 +578,25 @@ fn main() {
         eprintln!(
             "error: binary decode ({binary_decode_us} µs for {DECODE_REPS} reps) is not \
              faster than JSON ({json_decode_us} µs) on the controlled microbenchmark"
+        );
+        failed = true;
+    }
+    // The zero-copy bar: flat "decode" is validate-and-wrap, so it must
+    // land well under the binary codec's tree rebuild — < 0.2× on the
+    // same controlled microbenchmark — and the fixed-width arena must
+    // not bloat the wire: ≤ 1.25× the binary blob.
+    if flat_decode_us >= 0.2 * binary_decode_us {
+        eprintln!(
+            "error: flat decode ({flat_decode_us} µs for {DECODE_REPS} reps) is not under \
+             0.2x binary decode ({binary_decode_us} µs) on the controlled microbenchmark \
+             — the zero-copy path stopped being zero-copy"
+        );
+        failed = true;
+    }
+    if flat_blob_bytes > 1.25 * binary_blob_bytes {
+        eprintln!(
+            "error: flat blobs ({flat_blob_bytes} B mean total) exceed 1.25x the binary \
+             blobs ({binary_blob_bytes} B) — the fixed-width arena is bloating the wire"
         );
         failed = true;
     }

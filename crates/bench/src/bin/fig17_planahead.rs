@@ -15,11 +15,13 @@
 //!   [`PlanDistribution::StoreBacked`] — plans cross the instruction
 //!   store as serialized wire blobs (the paper's Fig. 9 Redis
 //!   architecture), so this arm additionally pays and reports
-//!   serialize/deserialize overhead. The store arm runs **twice**, once
-//!   per wire codec ([`PlanCodec::Json`] and the length-prefixed
-//!   [`PlanCodec::Binary`]), reporting per-codec blob bytes and
-//!   serialize/deserialize time — and the bench exits nonzero if the
-//!   binary codec's blobs ever exceed JSON's.
+//!   serialize/deserialize overhead. The store arm runs **three times**,
+//!   once per wire codec ([`PlanCodec::Json`], the length-prefixed
+//!   [`PlanCodec::Binary`], and the zero-copy [`PlanCodec::Flat`], whose
+//!   executors run engines straight over the fetched bytes), reporting
+//!   per-codec blob bytes and serialize/deserialize time — and the bench
+//!   exits nonzero if the binary codec's blobs ever exceed JSON's, or if
+//!   the flat arena exceeds 1.25× the binary blobs.
 //!
 //! Wall-clock is measured on the **training timeline** (simulated GPU
 //! execution + real host planning), the same planning-vs-iteration
@@ -77,6 +79,7 @@ struct ModelOutcome {
     in_process: ArmOutcome,
     store_backed: ArmOutcome,
     store_binary: ArmOutcome,
+    store_flat: ArmOutcome,
 }
 
 fn run_model(
@@ -156,6 +159,7 @@ fn run_model(
     let (in_process, iterations) = arm(PlanDistribution::InProcess, PlanCodec::Json);
     let (store_backed, _) = arm(PlanDistribution::StoreBacked, PlanCodec::Json);
     let (store_binary, _) = arm(PlanDistribution::StoreBacked, PlanCodec::Binary);
+    let (store_flat, _) = arm(PlanDistribution::StoreBacked, PlanCodec::Flat);
     ModelOutcome {
         name,
         iterations,
@@ -164,6 +168,7 @@ fn run_model(
         in_process,
         store_backed,
         store_binary,
+        store_flat,
     }
 }
 
@@ -209,6 +214,7 @@ fn main() {
             ("arc", &o.in_process),
             ("store", &o.store_backed),
             ("st-bin", &o.store_binary),
+            ("st-flat", &o.store_flat),
         ] {
             println!(
                 "{:>5} {:>6} | {:>12.1} {:>12.1} | {:>10.1} {:>10.1} {:>7.1}% | {:>10.2}",
@@ -259,6 +265,11 @@ fn main() {
         .iter()
         .map(|o| o.store_binary.serialize_us + o.store_binary.deserialize_us)
         .sum();
+    let flat_blob_bytes: u64 = outcomes.iter().map(|o| o.store_flat.blob_bytes).sum();
+    let flat_serde_us: f64 = outcomes
+        .iter()
+        .map(|o| o.store_flat.serialize_us + o.store_flat.deserialize_us)
+        .sum();
     println!(
         "\n  total: serial {:.1} ms vs pipelined {:.1} ms (in-process, {:.1}% hidden) \
          vs {:.1} ms (store-backed, {:.1}% hidden, {:.2} ms serde)",
@@ -277,6 +288,13 @@ fn main() {
         binary_serde_us / 1e3,
         store_serde_us / 1e3,
     );
+    println!(
+        "  zero-copy: flat {:.1} KB ({:.1}% of binary), serde {:.2} ms \
+         (engines run over the wire bytes; deserialize is validate-and-wrap)",
+        flat_blob_bytes as f64 / 1e3,
+        100.0 * flat_blob_bytes as f64 / (binary_blob_bytes as f64).max(1.0),
+        flat_serde_us / 1e3,
+    );
 
     let per_model = serde_json::Value::Object(
         outcomes
@@ -291,6 +309,7 @@ fn main() {
                         "in_process": arm_json(&o.in_process),
                         "store": arm_json(&o.store_backed),
                         "store_binary": arm_json(&o.store_binary),
+                        "store_flat": arm_json(&o.store_flat),
                     }),
                 )
             })
@@ -335,6 +354,14 @@ fn main() {
             "binary_serde_us".to_string(),
             serde_json::json!(binary_serde_us),
         ),
+        (
+            "flat_blob_bytes".to_string(),
+            serde_json::json!(flat_blob_bytes),
+        ),
+        (
+            "flat_serde_us".to_string(),
+            serde_json::json!(flat_serde_us),
+        ),
         ("iterations".to_string(), serde_json::json!(iters)),
         (
             "plan_ahead".to_string(),
@@ -361,6 +388,7 @@ fn main() {
             ("in-process", &o.in_process),
             ("store-backed", &o.store_backed),
             ("store-binary", &o.store_binary),
+            ("store-flat", &o.store_flat),
         ] {
             if let Some(d) = &a.divergence {
                 eprintln!(
@@ -375,10 +403,15 @@ fn main() {
         .iter()
         .map(|o| o.store_binary.pipelined_wall_us)
         .sum();
+    let store_flat_wall_us: f64 = outcomes
+        .iter()
+        .map(|o| o.store_flat.pipelined_wall_us)
+        .sum();
     for (arm_name, wall) in [
         ("in-process", pipelined_wall_us),
         ("store-backed", store_wall_us),
         ("store-binary", store_binary_wall_us),
+        ("store-flat", store_flat_wall_us),
     ] {
         if wall >= serial_wall_us {
             eprintln!(
@@ -393,6 +426,15 @@ fn main() {
     if binary_blob_bytes > json_blob_bytes {
         eprintln!(
             "error: binary wire ({binary_blob_bytes} B) exceeds JSON ({json_blob_bytes} B)"
+        );
+        failed = true;
+    }
+    // The flat arena trades nesting for fixed-width records; bytes are
+    // deterministic, so this bloat gate holds in smoke runs too.
+    if flat_blob_bytes as f64 > 1.25 * binary_blob_bytes as f64 {
+        eprintln!(
+            "error: flat wire ({flat_blob_bytes} B) exceeds 1.25x binary \
+             ({binary_blob_bytes} B) — the fixed-width arena is bloating the wire"
         );
         failed = true;
     }

@@ -104,7 +104,13 @@ fn main() {
     let minibatches = probe_minibatches(&dataset, &point, 8);
     for workers in [1usize, 4] {
         let store = InstructionStore::new();
-        let stats = generate_plans_parallel(planner.clone(), &minibatches, workers, &store);
+        let stats = generate_plans_parallel(
+            planner.clone(),
+            &minibatches,
+            workers,
+            &store,
+            dynapipe_core::PlanCodec::Binary,
+        );
         println!(
             "  {workers} worker(s): wall {:8.1} ms, cpu {:8.1} ms, effective speedup {:.2}x, {} plans stored",
             stats.wall_us / 1e3,

@@ -16,9 +16,12 @@
 //! panics, diverges from its reference, or stops emitting its artifact —
 //! in minutes instead of a full regeneration run. Divergence checks
 //! (`planning_speed`, `fig17_planahead`) still run and still fail the
-//! sweep — including `fig17_planahead`'s store-backed arm, whose
-//! `behavior_eq` check catches plan-serialization bit-rot; smoke runs
-//! never touch the root artifacts.
+//! sweep — including `fig17_planahead`'s store-backed arms across all
+//! three wire codecs (`json`/`binary`/`flat`, the last executing
+//! engines straight over the wire bytes) and `fig09_cluster`'s
+//! topology × codec matrix with its flat decode/bytes gates, so
+//! plan-serialization bit-rot in any codec fails CI; smoke runs never
+//! touch the root artifacts.
 
 use std::process::Command;
 

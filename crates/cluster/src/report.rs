@@ -97,7 +97,7 @@ pub struct ChurnStats {
 pub struct ClusterReport {
     /// Topology label, e.g. `"2p×1w→2e"`.
     pub topology: String,
-    /// Wire codec label (`"json"` / `"binary"`).
+    /// Wire codec label (`"json"` / `"binary"` / `"flat"`).
     pub codec: String,
     /// Plan-ahead window used.
     pub plan_ahead: usize,
@@ -131,7 +131,12 @@ pub struct ClusterReport {
     /// Bytes of one mean plan blob on this codec.
     pub mean_blob_bytes: f64,
     /// Σ blob decode time, one decode per fetching host (µs, real).
+    /// Under the flat codec this is validate-and-wrap plus the small
+    /// plan-metadata decode — the instruction records are never decoded.
     pub decode_us: f64,
+    /// Wire bytes the executors ran zero-copy, straight over the fetched
+    /// blob (flat codec only; zero under the tree codecs).
+    pub flat_wire_bytes: u64,
     /// Σ encode + push time (µs, real).
     pub serialize_us: f64,
     /// Real host wall-clock of the whole run (µs).

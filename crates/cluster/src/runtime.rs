@@ -53,14 +53,14 @@ use crate::topology::ClusterConfig;
 use dynapipe_core::driver::{record_iteration, IterationPlanner, RunConfig, RunReport};
 use dynapipe_core::planner::{IterationPlan, PlanError};
 use dynapipe_core::runtime::{
-    execute_lowered, plan_lower_push, DuplicatePush, PlanAheadQueue, ReplicaParallelism,
-    TicketGuard, WaitOutcome,
+    decode_for_execution, execute_lowered, plan_lower_push, DuplicatePush, PlanAheadQueue,
+    ReplicaParallelism, ReplicaPrograms, TicketGuard, WaitOutcome,
 };
-use dynapipe_core::store::{InstructionStore, StoredLowered, StoredOutcome, StoredPlan};
+use dynapipe_core::store::InstructionStore;
 use dynapipe_batcher::PaddingStats;
 use dynapipe_data::{BatchStream, Dataset, GlobalBatchConfig};
-use dynapipe_sim::{DeviceProgram, Link, LinkModel};
-use std::sync::{Arc, Mutex};
+use dynapipe_sim::{Link, LinkModel};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Crashed-counterpart bound for store waits (mirrors the core runtime):
@@ -85,7 +85,7 @@ struct ClusterPlanned {
 /// What the prefetcher hands the executor per iteration.
 struct ClaimedCluster {
     meta: ClusterPlanned,
-    outcome: Result<(IterationPlan, Vec<Arc<Vec<DeviceProgram>>>), PlanError>,
+    outcome: Result<(IterationPlan, Vec<ReplicaPrograms>), PlanError>,
     /// Real µs one host spends decoding its copy of the blob.
     decode_us: f64,
     /// Replica → executor-host placement in force for this iteration.
@@ -401,11 +401,11 @@ pub fn run_training_cluster(
                     // lint:allow(wall-clock): decode timing for ExecutorHostStats.decode_us, a stats field only
                     let t_decode = Instant::now();
                     let decoded = taken.map_err(|e| format!("take: {e}")).and_then(|blob| {
-                        StoredPlan::decode(cluster.codec, &blob)
+                        decode_for_execution(cluster.codec, blob)
                             .map_err(|e| format!("decode: {e}"))
                     });
                     let decode_us = t_decode.elapsed().as_secs_f64() * 1e6;
-                    let stored = match decoded {
+                    let (iteration, outcome) = match decoded {
                         Ok(s) => s,
                         Err(e) => {
                             let _ = tx.send(Prefetched::Lost(format!(
@@ -414,13 +414,7 @@ pub fn run_training_cluster(
                             return;
                         }
                     };
-                    debug_assert_eq!(stored.iteration, it, "blob is self-describing");
-                    let outcome = match stored.outcome {
-                        StoredOutcome::Plan(StoredLowered { plan, programs }) => {
-                            Ok((plan, programs.into_iter().map(Arc::new).collect()))
-                        }
-                        StoredOutcome::Failed(e) => Err(e),
-                    };
+                    debug_assert_eq!(iteration, it, "blob is self-describing");
                     let claimed = ClaimedCluster {
                         meta,
                         outcome,
@@ -536,6 +530,12 @@ pub fn run_training_cluster(
             out.serialize_us += meta.serialize_us;
             out.decode_us += decode_us * spans.iter().filter(|s| s.is_finite()).count() as f64;
             out.total_planning_us += meta.plan_us + meta.lower_us;
+            if cluster.codec == dynapipe_core::PlanCodec::Flat {
+                // Every host with a replica this iteration ran engines
+                // straight over its fetched copy of the blob.
+                out.flat_wire_bytes +=
+                    bytes * spans.iter().filter(|s| s.is_finite()).count() as u64;
+            }
             out.iterations += 1;
 
             record_iteration(

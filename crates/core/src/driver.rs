@@ -271,7 +271,10 @@ pub fn simulate_iteration(
     run: &RunConfig,
     iteration_index: usize,
 ) -> Result<(Micros, Vec<Bytes>, Micros), String> {
-    let programs = lower_replicas(cm, plan);
+    let programs: Vec<_> = lower_replicas(cm, plan)
+        .into_iter()
+        .map(crate::runtime::ReplicaPrograms::Owned)
+        .collect();
     let exec = execute_lowered(
         cm,
         plan,

@@ -42,7 +42,9 @@ pub mod runtime;
 pub mod store;
 
 pub use baseline::{BaselineKind, BaselinePlanner};
-pub use codec::PlanCodec;
+pub use codec::{
+    encode_flat, CodecError, FlatInstrRef, FlatPlanRef, FlatProgramRef, FlatReplicaRef, PlanCodec,
+};
 pub use compile::{compile_replica, compile_replica_with, GroundTruth};
 pub use driver::{run_training, IterationPlanner, IterationRecord, RunConfig, RunReport};
 pub use gridsearch::{search_parallelism, CandidateScore};
@@ -52,9 +54,10 @@ pub use planner::{
     ScheduleKind,
 };
 pub use runtime::{
-    run_training_pipelined, CompiledIteration, CompleteOutcome, DuplicatePush,
-    IterationExecution, PlanAheadQueue, PlanDistribution, QueueChurn, ReplicaParallelism,
-    RuntimeConfig, RuntimeStats, Ticket, TicketGuard, WaitOutcome,
+    decode_for_execution, run_training_pipelined, CompiledIteration, CompleteOutcome,
+    DuplicatePush, IterationExecution, PlanAheadQueue, PlanDistribution, QueueChurn,
+    ReplicaParallelism, ReplicaPrograms, RuntimeConfig, RuntimeStats, Ticket, TicketGuard,
+    WaitOutcome,
 };
 pub use store::{
     InstructionStore, PushOutcome, StoreConfig, StoreError, StoreStats, StoredLowered,

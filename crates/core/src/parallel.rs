@@ -9,6 +9,7 @@
 //! returned statistics are the data behind Fig. 17's "planning fully
 //! overlaps with execution given ~13 cores" argument.
 
+use crate::codec::PlanCodec;
 use crate::planner::{DynaPipePlanner, PlanError};
 use crate::store::InstructionStore;
 use dynapipe_data::Sample;
@@ -56,16 +57,17 @@ impl ParallelPlanStats {
 /// into `store` keyed by iteration index.
 ///
 /// Workers receive mini-batches as borrowed slices (`&minibatches[i]`);
-/// plan outputs are serialized into [`crate::store::StoredPlan`] wire
-/// blobs and pushed straight into the sharded store — the same boundary
-/// the store-backed runtime crosses — so peak memory beyond the caller's
-/// inputs is the blobs themselves plus one in-flight partition per
-/// worker.
+/// plan outputs are serialized with `codec` into
+/// [`crate::store::StoredPlan`] wire blobs and pushed straight into the
+/// sharded store — the same boundary the store-backed runtime crosses —
+/// so peak memory beyond the caller's inputs is the blobs themselves
+/// plus one in-flight partition per worker.
 pub fn generate_plans_parallel(
     planner: Arc<DynaPipePlanner>,
     minibatches: &[Vec<Sample>],
     workers: usize,
     store: &InstructionStore,
+    codec: PlanCodec,
 ) -> ParallelPlanStats {
     let workers = workers.max(1);
     // lint:allow(wall-clock): wall-clock of the parallel planning pass, reported as stats only
@@ -99,7 +101,7 @@ pub fn generate_plans_parallel(
                                 },
                             ),
                         }
-                        .encode(crate::codec::PlanCodec::Json);
+                        .encode(codec);
                         store
                             .push(i, blob)
                             .unwrap_or_else(|e| panic!("storing plan {i} failed: {e}"));
@@ -161,13 +163,21 @@ mod tests {
 
     #[test]
     fn all_plans_land_in_store() {
-        let store = InstructionStore::new();
-        let stats = generate_plans_parallel(planner(), &minibatches(6), 3, &store);
-        assert!(stats.failures.is_empty());
-        assert_eq!(store.len(), 6);
-        assert_eq!(stats.per_plan_us.len(), 6);
-        for i in 0..6 {
-            assert!(store.fetch(i).is_some(), "plan {i} missing");
+        // Same session under every wire codec: the store contents differ
+        // in bytes, never in coverage.
+        for codec in PlanCodec::ALL {
+            let store = InstructionStore::new();
+            let stats = generate_plans_parallel(planner(), &minibatches(6), 3, &store, codec);
+            assert!(stats.failures.is_empty());
+            assert_eq!(store.len(), 6, "codec {codec:?}");
+            assert_eq!(stats.per_plan_us.len(), 6);
+            for i in 0..6 {
+                let blob = store.fetch(i);
+                assert!(blob.is_some(), "plan {i} missing under {codec:?}");
+                let decoded =
+                    crate::store::StoredPlan::decode(codec, &blob.unwrap()).expect("decodes");
+                assert_eq!(decoded.iteration, i);
+            }
         }
     }
 
@@ -185,7 +195,7 @@ mod tests {
         // small +pool slack (see the `peak_in_flight` field docs).
         let mbs = minibatches(6);
         let store = InstructionStore::new();
-        let stats = generate_plans_parallel(planner(), &mbs, 2, &store);
+        let stats = generate_plans_parallel(planner(), &mbs, 2, &store, PlanCodec::Binary);
         assert!(
             (1..=2).contains(&stats.peak_in_flight),
             "in-flight plan computations must be bounded by the worker \
@@ -206,9 +216,9 @@ mod tests {
         let p = planner();
         let mbs = minibatches(8);
         let store1 = InstructionStore::new();
-        let s1 = generate_plans_parallel(p.clone(), &mbs, 1, &store1);
+        let s1 = generate_plans_parallel(p.clone(), &mbs, 1, &store1, PlanCodec::Flat);
         let store4 = InstructionStore::new();
-        let s4 = generate_plans_parallel(p, &mbs, 4, &store4);
+        let s4 = generate_plans_parallel(p, &mbs, 4, &store4, PlanCodec::Flat);
         assert_eq!(store1.len(), 8);
         assert_eq!(store4.len(), 8);
         assert_eq!(s1.per_plan_us.len(), 8);

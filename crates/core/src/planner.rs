@@ -289,6 +289,7 @@ impl DynaPipePlanner {
             recompute: mode,
             dp_degree: cm.parallel.dp,
             max_candidates: self.config.max_candidates,
+            probe_stop_divisor: DpConfig::PROBE_STOP_DIVISOR,
         };
         let partitioner = Partitioner::new(cm, dp_cfg);
         let partition = partitioner

@@ -114,7 +114,7 @@
 //!   cluster layer (`dynapipe-cluster`) drives this path; the
 //!   single-host runtime keeps the unbounded wait.
 
-use crate::codec::PlanCodec;
+use crate::codec::{FlatPlanRef, FlatReplicaRef, PlanCodec};
 use crate::driver::{record_iteration, IterationPlanner, RunConfig, RunReport};
 use crate::planner::{IterationPlan, PlanError};
 use crate::store::{InstructionStore, StoreStats, StoredLowered, StoredOutcome, StoredPlan};
@@ -160,8 +160,9 @@ pub struct RuntimeConfig {
     /// Plan-distribution layer between the pool and the executor.
     pub distribution: PlanDistribution,
     /// Wire codec for [`PlanDistribution::StoreBacked`] blobs (ignored
-    /// in-process). Both codecs are bit-exact; they differ in bytes and
-    /// decode time (see [`crate::codec`]).
+    /// in-process). All codecs are bit-exact; they differ in bytes and
+    /// decode time (see [`crate::codec`]) — [`PlanCodec::Flat`] blobs are
+    /// executed zero-copy, straight over the wire bytes.
     pub codec: PlanCodec,
 }
 
@@ -188,13 +189,39 @@ impl RuntimeConfig {
     }
 }
 
+/// One replica's device programs in whichever representation crossed
+/// the plan-distribution boundary. The engine runs both through the same
+/// [`dynapipe_sim::InstructionSource`] abstraction, bit-identically.
+#[derive(Debug, Clone)]
+pub enum ReplicaPrograms {
+    /// Owned lowered programs, shared with the engines that run them
+    /// (the in-process path and the tree codecs' decoded form).
+    Owned(Arc<Vec<DeviceProgram>>),
+    /// Zero-copy view into a [`PlanCodec::Flat`] wire blob: the engine
+    /// reads instruction records straight off the fetched bytes — no
+    /// tree build, no owned copy.
+    Flat(FlatReplicaRef),
+}
+
+impl ReplicaPrograms {
+    /// Number of devices this replica's programs cover.
+    pub fn num_devices(&self) -> usize {
+        match self {
+            ReplicaPrograms::Owned(p) => p.len(),
+            ReplicaPrograms::Flat(f) => {
+                dynapipe_sim::InstructionSource::num_devices(f)
+            }
+        }
+    }
+}
+
 /// One iteration after the lowering stage: the plan plus each replica's
 /// compiled device programs, ready for the engine.
 pub struct CompiledIteration {
     /// The iteration plan the programs were lowered from.
     pub plan: IterationPlan,
     /// Per-replica device programs, shared with the engines that run them.
-    pub programs: Vec<Arc<Vec<DeviceProgram>>>,
+    pub programs: Vec<ReplicaPrograms>,
 }
 
 /// Lower every replica of `plan` to simulator device programs (the
@@ -213,7 +240,10 @@ pub fn lower_replicas(cm: &CostModel, plan: &IterationPlan) -> Vec<Arc<Vec<Devic
 
 /// Lower an owned plan into a [`CompiledIteration`].
 pub fn lower_iteration(cm: &CostModel, plan: IterationPlan) -> CompiledIteration {
-    let programs = lower_replicas(cm, &plan);
+    let programs = lower_replicas(cm, &plan)
+        .into_iter()
+        .map(ReplicaPrograms::Owned)
+        .collect();
     CompiledIteration { plan, programs }
 }
 
@@ -384,7 +414,7 @@ pub struct IterationExecution {
 pub fn execute_lowered(
     cm: &CostModel,
     plan: &IterationPlan,
-    programs: &[Arc<Vec<DeviceProgram>>],
+    programs: &[ReplicaPrograms],
     run: &RunConfig,
     iteration_index: usize,
     mode: ReplicaParallelism,
@@ -393,9 +423,15 @@ pub fn execute_lowered(
     let c = cm.num_stages();
     let run_replica = |ri: usize| -> Result<SimResult, String> {
         let config = replica_engine_config(cm, run, iteration_index, ri);
-        Engine::with_shared(config, programs[ri].clone())
-            .run()
-            .map_err(|e| e.to_string())
+        match &programs[ri] {
+            ReplicaPrograms::Owned(p) => {
+                Engine::with_shared(config, p.clone()).run()
+            }
+            ReplicaPrograms::Flat(f) => {
+                Engine::from_source(config, f.clone()).run()
+            }
+        }
+        .map_err(|e| e.to_string())
     };
     let mut exec = IterationExecution {
         measured_time: 0.0,
@@ -437,6 +473,52 @@ pub fn execute_lowered(
     exec.replica_makespans = makespans;
     exec.measured_time = worst_makespan + plan.dp_sync_time;
     Ok(exec)
+}
+
+/// Decode a fetched wire blob into its executable form: the iteration
+/// index it carries, plus either the plan with per-replica programs or
+/// the planner failure stored in its place.
+///
+/// Tree codecs ([`PlanCodec::Json`], [`PlanCodec::Binary`]) materialize
+/// owned programs. [`PlanCodec::Flat`] validates the arena once and
+/// hands back [`ReplicaPrograms::Flat`] views over the very same bytes —
+/// the engines execute straight over the wire blob; only the small
+/// plan-metadata section is materialized. Both prefetchers (single-host
+/// and cluster) share this so the fetched-blob-to-engine boundary is
+/// identical by construction.
+#[allow(clippy::type_complexity)]
+pub fn decode_for_execution(
+    codec: PlanCodec,
+    blob: Arc<[u8]>,
+) -> Result<(usize, Result<(IterationPlan, Vec<ReplicaPrograms>), PlanError>), String> {
+    if codec == PlanCodec::Flat {
+        let flat = FlatPlanRef::new(blob).map_err(|e| e.to_string())?;
+        let it = flat.iteration();
+        if flat.is_failed() {
+            return Ok((it, Err(flat.failure().map_err(|e| e.to_string())?)));
+        }
+        let plan = flat.plan().map_err(|e| e.to_string())?;
+        let programs = flat
+            .replicas()
+            .into_iter()
+            .map(ReplicaPrograms::Flat)
+            .collect();
+        return Ok((it, Ok((plan, programs))));
+    }
+    let stored = StoredPlan::decode(codec, &blob).map_err(|e| e.to_string())?;
+    let outcome = match stored.outcome {
+        StoredOutcome::Plan(StoredLowered { plan, programs }) => {
+            // Engines will run over the owned, deserialized programs —
+            // nothing from the planner side of the boundary is referenced.
+            let programs = programs
+                .into_iter()
+                .map(|p| ReplicaPrograms::Owned(Arc::new(p)))
+                .collect();
+            Ok((plan, programs))
+        }
+        StoredOutcome::Failed(e) => Err(e),
+    };
+    Ok((stored.iteration, outcome))
 }
 
 /// What a worker hands the executor for one iteration: the payload
@@ -981,6 +1063,9 @@ struct ClaimedIteration {
     serialize_us: f64,
     blob_bytes: usize,
     deserialize_us: f64,
+    /// Bytes the engines execute zero-copy, straight over the fetched
+    /// wire blob ([`PlanCodec::Flat`] only; 0 otherwise).
+    flat_bytes: usize,
 }
 
 /// What the store-mode prefetcher hands the executor.
@@ -1042,6 +1127,7 @@ fn fold_claimed(
         stats.serialize_us.push(claimed.serialize_us);
         stats.deserialize_us.push(claimed.deserialize_us);
         stats.blob_bytes.push(claimed.blob_bytes);
+        stats.flat_blob_bytes.push(claimed.flat_bytes);
     }
     record_iteration(
         report,
@@ -1093,6 +1179,14 @@ pub struct RuntimeStats {
     /// Per executed iteration: wire-blob size pushed through the store.
     /// Empty in in-process mode.
     pub blob_bytes: Vec<usize>,
+    /// Wire codec the store-backed path used — the label under which
+    /// `deserialize_us`/`blob_bytes` were measured (ignored in-process).
+    pub codec: PlanCodec,
+    /// Per executed iteration: bytes the engines executed zero-copy,
+    /// straight over the fetched wire blob. Equal to `blob_bytes` under
+    /// [`PlanCodec::Flat`], all-zero under the tree codecs, empty
+    /// in-process.
+    pub flat_blob_bytes: Vec<usize>,
     /// Final instruction-store counters (store-backed mode only),
     /// captured after teardown — `occupancy`/`bytes` must be zero (no
     /// orphaned blobs) and `peak_occupancy ≤ plan_ahead` (window slots
@@ -1187,6 +1281,8 @@ pub fn run_training_pipelined(
         serialize_us: Vec::new(),
         deserialize_us: Vec::new(),
         blob_bytes: Vec::new(),
+        codec: config.codec,
+        flat_blob_bytes: Vec::new(),
         store: None,
     };
 
@@ -1305,6 +1401,7 @@ pub fn run_training_pipelined(
                         serialize_us: 0.0,
                         blob_bytes: 0,
                         deserialize_us: 0.0,
+                        flat_bytes: 0,
                     };
                     if !fold_claimed(
                         cm,
@@ -1350,12 +1447,12 @@ pub fn run_training_pipelined(
                                 .take_blocking(it, STORE_WAIT)
                                 .map_err(|e| format!("take: {e}"))
                                 .and_then(|blob| {
-                                    StoredPlan::decode(config.codec, &blob)
+                                    decode_for_execution(config.codec, blob)
                                         .map_err(|e| format!("decode: {e}"))
                                 });
                             // Blob out of the store: the window slot is free.
                             queue.advance(it);
-                            let stored = match decoded {
+                            let (iteration, decoded) = match decoded {
                                 Ok(s) => s,
                                 Err(e) => {
                                     // Losing a blob the queue promised is a
@@ -1367,19 +1464,10 @@ pub fn run_training_pipelined(
                                     return;
                                 }
                             };
-                            debug_assert_eq!(stored.iteration, it, "blob is self-describing");
-                            let outcome = match stored.outcome {
-                                StoredOutcome::Plan(StoredLowered { plan, programs }) => {
-                                    // Engines will run over the owned,
-                                    // deserialized programs — nothing from
-                                    // the planner side of the boundary is
-                                    // referenced.
-                                    let programs =
-                                        programs.into_iter().map(Arc::new).collect();
-                                    Ok(CompiledIteration { plan, programs })
-                                }
-                                StoredOutcome::Failed(e) => Err(e),
-                            };
+                            debug_assert_eq!(iteration, it, "blob is self-describing");
+                            let outcome = decoded.map(|(plan, programs)| {
+                                CompiledIteration { plan, programs }
+                            });
                             let claimed = ClaimedIteration {
                                 outcome,
                                 plan_us: planned.plan_us,
@@ -1388,6 +1476,11 @@ pub fn run_training_pipelined(
                                 serialize_us,
                                 blob_bytes,
                                 deserialize_us: t_deser.elapsed().as_secs_f64() * 1e6,
+                                flat_bytes: if config.codec == PlanCodec::Flat {
+                                    blob_bytes
+                                } else {
+                                    0
+                                },
                             };
                             if tx.send(Prefetched::Iteration(Box::new(claimed))).is_err() {
                                 return; // executor stopped consuming
@@ -1488,7 +1581,10 @@ mod tests {
             let (it, mb) = stream.next_batch().unwrap();
             let plan = planner.plan_iteration(&mb).unwrap();
             assert_eq!(plan.replicas.len(), 2);
-            let programs = lower_replicas(&cm, &plan);
+            let programs: Vec<_> = lower_replicas(&cm, &plan)
+                .into_iter()
+                .map(ReplicaPrograms::Owned)
+                .collect();
             let serial =
                 execute_lowered(&cm, &plan, &programs, &run, it, ReplicaParallelism::Serial)
                     .unwrap();

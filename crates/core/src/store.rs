@@ -807,16 +807,29 @@ impl StoredPlan {
     /// `decode(codec, encode(codec)).encode(codec) == encode(codec)` bit
     /// for bit — the property the differential harness leans on.
     pub fn encode(&self, codec: crate::codec::PlanCodec) -> Vec<u8> {
-        codec.encode_value(&serde::Serialize::to_value(self))
+        match codec {
+            crate::codec::PlanCodec::Flat => crate::codec::encode_flat(self),
+            tree => tree.encode_value(&serde::Serialize::to_value(self)),
+        }
     }
 
     /// Deserialize from wire bytes produced with the *same* codec (the
     /// codec travels out of band; a mismatched blob fails loudly).
+    ///
+    /// For [`crate::codec::PlanCodec::Flat`] this is the *generic* decode
+    /// — it rebuilds an owned plan for callers that need one. The
+    /// runtime's flat hot path skips it and executes the blob in place
+    /// via [`crate::codec::FlatPlanRef`].
     pub fn decode(
         codec: crate::codec::PlanCodec,
         blob: &[u8],
     ) -> Result<StoredPlan, serde::Error> {
-        serde::Deserialize::from_value(&codec.decode_value(blob)?)
+        match codec {
+            crate::codec::PlanCodec::Flat => {
+                Ok(crate::codec::FlatPlanRef::new(std::sync::Arc::from(blob))?.to_stored()?)
+            }
+            tree => serde::Deserialize::from_value(&tree.decode_value(blob)?),
+        }
     }
 }
 

@@ -95,4 +95,57 @@ fn wall_clock_stats_reconcile_on_a_store_backed_run() {
         store.bytes
     );
     assert_eq!(store.bytes, 0, "teardown must drain all bytes");
+
+    // The stats carry the codec label their decode timings were measured
+    // under, and a tree-codec run never executes bytes zero-copy.
+    assert_eq!(stats.codec, PlanCodec::Binary);
+    assert_eq!(stats.flat_blob_bytes.len(), iterations);
+    assert!(
+        stats.flat_blob_bytes.iter().all(|&b| b == 0),
+        "a binary-codec run must not report zero-copy flat bytes: {:?}",
+        stats.flat_blob_bytes
+    );
+}
+
+#[test]
+fn flat_codec_runs_report_zero_copy_bytes_per_iteration() {
+    // Under PlanCodec::Flat the engines execute straight over the wire
+    // blob, so every iteration's flat_blob_bytes must equal the blob it
+    // fetched — nonzero, and reconciling exactly with blob_bytes.
+    let planner = planner();
+    let dataset = Dataset::flanv2(211, 400);
+    let iterations = 3usize;
+    let run = RunConfig {
+        max_iterations: Some(iterations),
+        ..Default::default()
+    };
+    let (report, stats) = run_training_pipelined(
+        &planner,
+        &dataset,
+        gbs(),
+        run,
+        RuntimeConfig {
+            plan_ahead: 2,
+            workers: 2,
+            distribution: PlanDistribution::StoreBacked,
+            codec: PlanCodec::Flat,
+        },
+    );
+    assert!(report.feasible(), "fixture must run clean: {:?}", report.failure);
+    assert_eq!(stats.codec, PlanCodec::Flat);
+    assert_eq!(stats.flat_blob_bytes.len(), iterations);
+    assert_eq!(stats.blob_bytes.len(), iterations);
+    assert_eq!(
+        stats.flat_blob_bytes, stats.blob_bytes,
+        "every fetched flat blob is executed zero-copy, byte for byte"
+    );
+    assert!(
+        stats.flat_blob_bytes.iter().all(|&b| b > 0),
+        "flat blobs cannot be empty: {:?}",
+        stats.flat_blob_bytes
+    );
+    // The decode timings (validate-and-wrap plus the small plan-metadata
+    // section) are still measured per iteration under this label.
+    assert_eq!(stats.deserialize_us.len(), iterations);
+    assert!(stats.deserialize_us.iter().all(|&t| t >= 0.0));
 }

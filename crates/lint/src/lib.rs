@@ -7,8 +7,9 @@
 //! equivalence suites; this crate enforces it *statically*, before any
 //! test runs, by modeling every workspace file with a token-level
 //! lexer (no `syn`; the build environment is offline) and checking
-//! four rule families — nondeterminism sources, lock-order cycles,
-//! recovery-path panics, and counter-reconciliation coverage. See
+//! five rule families — nondeterminism sources, lock-order cycles,
+//! recovery-path panics, counter-reconciliation coverage, and `unsafe`
+//! blocks in behavior crates. See
 //! `LINTS.md` at the workspace root for the full catalogue and the
 //! waiver syntax.
 
@@ -89,6 +90,7 @@ pub fn analyze_models(models: &[FileModel], cfg: &LintConfig) -> LintReport {
     for fm in models {
         rules::check_nondeterminism(fm, cfg, &mut findings);
         rules::check_recovery_panics(fm, cfg, &mut findings);
+        rules::check_unsafe_blocks(fm, cfg, &mut findings);
     }
     rules::check_lock_order(models, cfg, &mut report, &mut findings);
     rules::check_counter_coverage(models, cfg, &mut report, &mut findings);

@@ -19,6 +19,7 @@ pub const RULE_LOCK: &str = "lock-order";
 pub const RULE_PANIC: &str = "recovery-panic";
 pub const RULE_COUNTER: &str = "counter-unread";
 pub const RULE_WAIVER: &str = "waiver-no-reason";
+pub const RULE_UNSAFE: &str = "unsafe-block";
 
 /// What the analyzer looks for and where. `workspace()` is the repo's
 /// instance; fixture tests construct their own.
@@ -896,6 +897,45 @@ pub fn check_recovery_panics(fm: &FileModel, cfg: &LintConfig, out: &mut Vec<Fin
                 });
             }
             i += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 5: no `unsafe` in behavior crates.
+// ---------------------------------------------------------------------
+
+/// Rule 5 over one file: flag every `unsafe` token in a behavior crate.
+///
+/// The zero-copy flat codec is specified as safe code — explicit
+/// little-endian byte reads behind bounds-checked accessors — precisely
+/// so that a corrupt or truncated wire blob can never become undefined
+/// behavior. An `unsafe` block (transmute-based casting, unchecked
+/// indexing) would silently void that guarantee, so the absence of
+/// `unsafe` is enforced here, not just by review. The lexer strips
+/// comments and keeps string contents out of ident tokens, so prose
+/// mentioning "unsafe" never trips this rule; the waiver syntax
+/// (`lint:allow(unsafe-block): <why>`) applies as usual.
+pub fn check_unsafe_blocks(fm: &FileModel, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    if !cfg.is_behavior(&fm.rel) || fm.is_test_file {
+        return;
+    }
+    for (i, t) in fm.toks.iter().enumerate() {
+        if fm.in_test(i) {
+            break;
+        }
+        if t.is_ident("unsafe") {
+            out.push(Finding {
+                rule: RULE_UNSAFE.to_string(),
+                file: fm.rel.clone(),
+                line: t.line,
+                message: "`unsafe` in a behavior-affecting crate: the wire formats and \
+                          engines are specified as safe code so corrupt blobs can never \
+                          become undefined behavior"
+                    .to_string(),
+                waived: false,
+                reason: String::new(),
+            });
         }
     }
 }

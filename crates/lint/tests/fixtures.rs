@@ -139,6 +139,29 @@ fn waiver_fixture_separates_reasoned_from_reasonless() {
 }
 
 #[test]
+fn unsafe_block_fixture_counts_exactly() {
+    let report = lint_fixture("unsafe_block.rs");
+    let rules = rules_of(&report);
+    assert_eq!(
+        count(&rules, "unsafe-block"),
+        2,
+        "the raw block and the unsafe fn; comment/string/test decoys stay silent: {rules:?}"
+    );
+    // The sanctioned block is covered by its reasoned waiver, and the
+    // ledger records the waiver as used.
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "unsafe-block" && f.waived && f.reason.contains("sanctioned")),
+        "{:?}",
+        report.findings
+    );
+    assert_eq!(report.waivers.len(), 1, "{:?}", report.waivers);
+    assert!(report.waivers[0].used);
+}
+
+#[test]
 fn lexer_edge_fixture_is_silent() {
     let report = lint_fixture("lexer_edge.rs");
     assert!(

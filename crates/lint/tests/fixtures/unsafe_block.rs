@@ -1,0 +1,33 @@
+//! Fixture: `unsafe` in a behavior crate. Two real violations (a block
+//! and an `unsafe fn`), one waived block, plus decoys — the word in a
+//! comment, in a string literal, and in test code — that must all stay
+//! silent.
+
+fn read_raw(bytes: &[u8]) -> u64 {
+    // An unsafe idea discussed in a comment must not count.
+    let claim = "this string says unsafe and is inert";
+    let _ = claim;
+    let out;
+    unsafe {
+        out = bytes.as_ptr().cast::<u64>().read_unaligned();
+    }
+    out
+}
+
+unsafe fn raw_entry(p: *const u8) -> u8 {
+    *p
+}
+
+fn sanctioned() {
+    // lint:allow(unsafe-block): fixture-sanctioned block exercising the waiver ledger
+    unsafe { std::arch::asm!("nop") }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_side_unsafe_is_exempt() {
+        let x = unsafe { super::read_raw(&[0u8; 8]) };
+        assert_eq!(x, 0);
+    }
+}

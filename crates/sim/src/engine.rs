@@ -3,7 +3,7 @@
 
 use crate::channel::{pair_key, Channel, ChannelError, MatchedTransfer};
 use crate::memory::{AllocatorMode, AllocatorStats, CachingAllocator, MemoryTracker, OomError};
-use crate::op::{CommTag, DeviceProgram, OpLabel, SimOp};
+use crate::op::{CommTag, DeviceProgram, InstructionSource, OpLabel, OpView};
 use crate::trace::{TraceEvent, TraceKind};
 use dynapipe_model::{Bytes, HardwareModel, Micros};
 use std::cmp::Reverse;
@@ -219,16 +219,20 @@ impl PartialOrd for TimeKey {
     }
 }
 
-/// The discrete-event engine.
+/// The discrete-event engine, generic over where its instructions live.
 ///
-/// Programs are held behind an `Arc`: the plan-ahead runtime's lowering
-/// stage compiles them once per iteration and shares them with the engine
-/// without copying (see [`Engine::with_shared`]), and [`Engine::run`]
-/// borrows, so one engine can execute its programs repeatedly (e.g. jitter
-/// sweeps over one compiled plan).
-pub struct Engine {
+/// The default source is an `Arc<Vec<DeviceProgram>>`: the plan-ahead
+/// runtime's lowering stage compiles programs once per iteration and
+/// shares them with the engine without copying (see
+/// [`Engine::with_shared`]), and [`Engine::run`] borrows, so one engine
+/// can execute its programs repeatedly (e.g. jitter sweeps over one
+/// compiled plan). Any other [`InstructionSource`] — in particular the
+/// flat wire codec's zero-copy accessors — plugs in via
+/// [`Engine::from_source`] and must produce a bit-identical
+/// [`SimResult`]: the engine only ever sees [`OpView`]s.
+pub struct Engine<S = std::sync::Arc<Vec<DeviceProgram>>> {
     config: EngineConfig,
-    programs: std::sync::Arc<Vec<DeviceProgram>>,
+    programs: S,
 }
 
 impl Engine {
@@ -251,9 +255,21 @@ impl Engine {
         config: EngineConfig,
         programs: std::sync::Arc<Vec<DeviceProgram>>,
     ) -> Self {
+        Engine::from_source(config, programs)
+    }
+}
+
+impl<S: InstructionSource> Engine<S> {
+    /// Create an engine over any instruction source — owned programs or
+    /// flat wire bytes executed in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.memory_limits` does not match the device count.
+    pub fn from_source(config: EngineConfig, programs: S) -> Self {
         assert_eq!(
             config.memory_limits.len(),
-            programs.len(),
+            programs.num_devices(),
             "one memory limit per device required"
         );
         Engine { config, programs }
@@ -263,9 +279,10 @@ impl Engine {
     pub fn run(&self) -> Result<SimResult, SimError> {
         // lint:allow(wall-clock): simulation host wall-clock for SimResult.host_wall_us, excluded from behavior_eq
         let host_t0 = std::time::Instant::now();
-        let n = self.programs.len();
-        for (d, p) in self.programs.iter().enumerate() {
-            p.validate()
+        let n = self.programs.num_devices();
+        for d in 0..n {
+            self.programs
+                .validate_device(d)
                 .map_err(|message| SimError::InvalidProgram { device: d, message })?;
         }
         let mut devs: Vec<DevState> = (0..n)
@@ -345,10 +362,10 @@ impl Engine {
             .enumerate()
             .filter(|(_, s)| !s.done)
             .map(|(d, s)| {
-                let label = self.programs[d]
-                    .ops
-                    .get(s.pc)
-                    .map(SimOp::label)
+                let label = self
+                    .programs
+                    .op_view(d, s.pc)
+                    .map(|op| op.label())
                     .unwrap_or(OpLabel::new(u32::MAX, u32::MAX, false));
                 (d, s.pc, label)
             })
@@ -381,12 +398,12 @@ impl Engine {
         trace: &mut Vec<TraceEvent>,
     ) -> Result<(), SimError> {
         loop {
-            let Some(op) = self.programs[d].ops.get(devs[d].pc) else {
+            let Some(op) = self.programs.op_view(d, devs[d].pc) else {
                 devs[d].done = true;
                 return Ok(());
             };
             match op {
-                SimOp::Compute {
+                OpView::Compute {
                     duration,
                     allocs,
                     frees,
@@ -394,7 +411,7 @@ impl Engine {
                 } => {
                     let dev = &mut devs[d];
                     let mut stall = 0.0;
-                    for a in allocs {
+                    for a in allocs.iter() {
                         stall += dev
                             .alloc
                             .charge_alloc(a.bytes, dev.mem.in_use(), dev.mem.limit());
@@ -403,8 +420,8 @@ impl Engine {
                             .map_err(|detail| SimError::Oom { device: d, detail })?;
                     }
                     let dur = match self.config.jitter {
-                        Some(j) => j.apply(d, dev.pc, *duration),
-                        None => *duration,
+                        Some(j) => j.apply(d, dev.pc, duration),
+                        None => duration,
                     };
                     let start = dev.clock;
                     let end = start + stall + dur;
@@ -414,7 +431,7 @@ impl Engine {
                                 device: d,
                                 peer: usize::MAX,
                                 kind: TraceKind::AllocStall,
-                                label: *label,
+                                label,
                                 start,
                                 end: start + stall,
                             });
@@ -427,22 +444,23 @@ impl Engine {
                             } else {
                                 TraceKind::Forward
                             },
-                            label: *label,
+                            label,
                             start: start + stall,
                             end,
                         });
                     }
-                    for id in frees {
-                        if let Some(bytes) = free_size(&self.programs[d], *id) {
-                            dev.alloc.charge_free(bytes);
+                    for id in frees.iter() {
+                        if let Some(bytes) = self.programs.alloc_size(d, id) {
+                            devs[d].alloc.charge_free(bytes);
                         }
-                        dev.mem.free(*id);
+                        devs[d].mem.free(id);
                     }
+                    let dev = &mut devs[d];
                     dev.busy += stall + dur;
                     dev.clock = end;
                     dev.pc += 1;
                 }
-                SimOp::CommStart {
+                OpView::CommStart {
                     peer,
                     dir,
                     bytes,
@@ -451,15 +469,15 @@ impl Engine {
                 } => {
                     let dev = &mut devs[d];
                     dev.clock += self.config.comm_post_overhead;
-                    let pair = pair_key(d, *peer);
+                    let pair = pair_key(d, peer);
                     let ch = channels.entry(pair).or_default();
                     ch.post(
                         pair,
                         crate::channel::PostedOp {
                             device: d,
-                            dir: *dir,
-                            bytes: *bytes,
-                            tag: *tag,
+                            dir,
+                            bytes,
+                            tag,
                             posted_at: dev.clock,
                         },
                     );
@@ -475,14 +493,14 @@ impl Engine {
                         self.config.record_trace,
                     )?;
                 }
-                SimOp::CommWait { tag, .. } => {
-                    if let Some(&done_at) = completed.get(tag) {
+                OpView::CommWait { tag, .. } => {
+                    if let Some(&done_at) = completed.get(&tag) {
                         let dev = &mut devs[d];
                         dev.clock = dev.clock.max(done_at);
                         dev.pc += 1;
                     } else {
-                        devs[d].blocked_on = Some(*tag);
-                        waiting.entry(*tag).or_default().push(d);
+                        devs[d].blocked_on = Some(tag);
+                        waiting.entry(tag).or_default().push(d);
                         return Ok(());
                     }
                 }
@@ -534,15 +552,6 @@ impl Engine {
     }
 }
 
-/// Look up the size of alloc id `id` in `program` (for allocator cache
-/// accounting on free).
-fn free_size(program: &DeviceProgram, id: u64) -> Option<Bytes> {
-    program.ops.iter().find_map(|op| match op {
-        SimOp::Compute { allocs, .. } => allocs.iter().find(|a| a.id == id).map(|a| a.bytes),
-        _ => None,
-    })
-}
-
 /// Deterministic standard-normal variate from a hashed key (splitmix64 +
 /// Box–Muller).
 fn gaussian_hash(seed: u64, a: u64, b: u64) -> f64 {
@@ -562,7 +571,7 @@ fn gaussian_hash(seed: u64, a: u64, b: u64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::op::{AllocSpec, CommDir};
+    use crate::op::{AllocSpec, CommDir, SimOp};
 
     fn lbl(mb: u32, stage: u32, bwd: bool) -> OpLabel {
         OpLabel::new(mb, stage, bwd)

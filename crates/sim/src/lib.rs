@@ -40,5 +40,8 @@ pub mod trace;
 pub use engine::{Engine, EngineConfig, JitterConfig, SimError, SimResult};
 pub use link::{Link, LinkModel};
 pub use memory::{AllocatorMode, AllocatorStats, CachingAllocator, MemoryTracker};
-pub use op::{AllocSpec, CommDir, DeviceProgram, OpLabel, SimOp};
+pub use op::{
+    AllocId, AllocSpec, AllocsRef, CommDir, CommTag, DeviceProgram, FreesRef, InstructionSource,
+    OpLabel, OpView, SimOp,
+};
 pub use trace::{TraceEvent, TraceKind};

@@ -2,21 +2,25 @@
 //! distributed instruction store in the real system (§3) — and, since
 //! the store-backed runtime, in this reproduction too — so every plan
 //! artifact must survive serde exactly. The property tests below pin the
-//! full [`dynapipe_core::StoredPlan`] wire format bitwise **under both
-//! codecs** ([`PlanCodec::Json`] and the length-prefixed
-//! [`PlanCodec::Binary`]): arbitrary lowered plans (random sample
-//! shapes, recompute modes, dp degrees) must encode/decode to an
-//! identical value *and* an identical re-encoding in each codec,
-//! cross-decode equal across codecs, and an engine over the deserialized
-//! programs must run bit-identically to one over the original
-//! shared-`Arc` programs.
+//! full [`dynapipe_core::StoredPlan`] wire format bitwise **under all
+//! three codecs** ([`PlanCodec::Json`], the length-prefixed
+//! [`PlanCodec::Binary`], and the zero-copy [`PlanCodec::Flat`] arena):
+//! arbitrary lowered plans (random sample shapes, recompute modes, dp
+//! degrees) must encode/decode to an identical value *and* an identical
+//! re-encoding in each codec, cross-decode equal across codecs, and an
+//! engine over the deserialized programs must run bit-identically to one
+//! over the original shared-`Arc` programs. The flat codec additionally
+//! pins the zero-copy execution path (engines over [`FlatPlanRef`]
+//! views of the raw wire bytes) and its corruption contract: truncated
+//! or bit-flipped blobs yield a typed [`dynapipe_core::CodecError`],
+//! never a panic or an out-of-bounds read.
 
 use dynapipe_core::{
-    compile_replica, runtime::replica_engine_config, PlanCodec, RunConfig, StoredLowered,
-    StoredOutcome, StoredPlan,
+    compile_replica, runtime::replica_engine_config, FlatPlanRef, PlanCodec, RunConfig,
+    StoredLowered, StoredOutcome, StoredPlan,
 };
 use dynapipe_repro::prelude::*;
-use dynapipe_sim::{DeviceProgram, OpLabel, SimOp};
+use dynapipe_sim::{DeviceProgram, InstructionSource, OpLabel, SimOp};
 use proptest::prelude::*;
 use std::sync::{Arc, OnceLock};
 
@@ -131,6 +135,20 @@ fn lower_case(
     Some((planner.cm.clone(), StoredLowered { plan, programs }))
 }
 
+/// A minimal feasible-looking plan for tests that only need programs.
+fn empty_plan() -> dynapipe_core::IterationPlan {
+    dynapipe_core::IterationPlan {
+        replicas: Vec::new(),
+        recompute: RecomputeMode::None,
+        est_iteration_time: 0.0,
+        dp_sync_time: 0.0,
+        padding: Default::default(),
+        num_micro_batches: 0,
+        actual_tokens: 0,
+        planning_time_us: 0.0,
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
 
@@ -157,13 +175,16 @@ proptest! {
             // decode re-encodes to the identical byte string.
             prop_assert_eq!(&decoded, &stored);
             prop_assert_eq!(decoded.encode(codec), wire);
-            // A blob must never decode under the other codec: the wire
-            // format is unambiguous, not guessable.
-            let other = match codec {
-                PlanCodec::Json => PlanCodec::Binary,
-                PlanCodec::Binary => PlanCodec::Json,
-            };
-            prop_assert!(StoredPlan::decode(other, &wire).is_err());
+            // A blob must never decode under any other codec: the wire
+            // formats are unambiguous, not guessable.
+            for other in PlanCodec::ALL {
+                if other != codec {
+                    prop_assert!(
+                        StoredPlan::decode(other, &wire).is_err(),
+                        "a {} blob decoded as {}", codec.label(), other.label()
+                    );
+                }
+            }
             // Spot-check float bit patterns explicitly (PartialEq alone
             // would accept 0.0 vs -0.0).
             let (a, b) = match (&stored.outcome, &decoded.outcome) {
@@ -179,16 +200,25 @@ proptest! {
             }
             decoded_per_codec.push(decoded);
         }
-        // Cross-decode equality: what came back from JSON equals what
-        // came back from the binary codec, field for field.
-        prop_assert_eq!(&decoded_per_codec[0], &decoded_per_codec[1]);
+        // Cross-decode equality: every codec's decode agrees with every
+        // other's, field for field.
+        for pair in decoded_per_codec.windows(2) {
+            prop_assert_eq!(&pair[0], &pair[1]);
+        }
         // The binary codec exists to shrink blobs: on a real lowered
-        // plan it must always be the smaller wire format.
+        // plan it must always be the smaller wire format. The flat
+        // arena trades varints for fixed-width zero-copy records, so it
+        // may pad a little — but never more than 25% over binary.
         let json_bytes = stored.encode(PlanCodec::Json).len();
         let binary_bytes = stored.encode(PlanCodec::Binary).len();
+        let flat_bytes = stored.encode(PlanCodec::Flat).len();
         prop_assert!(
             binary_bytes < json_bytes,
             "binary {} >= json {}", binary_bytes, json_bytes
+        );
+        prop_assert!(
+            flat_bytes * 4 <= binary_bytes * 5,
+            "flat {} > 1.25x binary {}", flat_bytes, binary_bytes
         );
     }
 
@@ -226,6 +256,74 @@ proptest! {
                 });
             }
         }
+        // The zero-copy path: engines running straight over the flat
+        // wire bytes (no tree build, no owned programs) must be
+        // bit-identical to engines over the original shared `Arc`s.
+        let wire = stored.encode(PlanCodec::Flat);
+        let flat = FlatPlanRef::new(Arc::from(wire.as_slice())).expect("flat blob validates");
+        let views = flat.replicas();
+        prop_assert_eq!(views.len(), shared.len());
+        let run = RunConfig::default();
+        for (replica, (arc_programs, view)) in
+            shared.iter().cloned().zip(views).enumerate()
+        {
+            prop_assert_eq!(view.num_devices(), arc_programs.len());
+            let config = replica_engine_config(&cm, &run, iteration, replica);
+            let original = Engine::with_shared(config.clone(), arc_programs)
+                .run()
+                .expect("original runs");
+            let zero_copy = Engine::from_source(config, view).run().expect("flat view runs");
+            original.bit_eq(&zero_copy).unwrap_or_else(|e| {
+                panic!("replica {replica} diverged on the zero-copy flat path: {e}")
+            });
+        }
+    }
+
+    #[test]
+    fn flat_blob_corruption_is_typed_never_a_panic(
+        samples in arb_samples(12, 512),
+        planner_idx in 0usize..3,
+        cut_sel in 0usize..1_000_000,
+        flip_sel in 0usize..1_000_000,
+        bit in 0usize..8,
+    ) {
+        let Some((_, lowered)) = lower_case(planner_idx, 0, samples) else {
+            return Ok(());
+        };
+        let stored = StoredPlan { iteration: 7, outcome: StoredOutcome::Plan(lowered) };
+        let wire = stored.encode(PlanCodec::Flat);
+        // Any proper prefix fails the header's total-length check with a
+        // typed CodecError — decoding is a Result, never a panic.
+        let cut = cut_sel % wire.len();
+        let err = FlatPlanRef::new(Arc::from(&wire[..cut]))
+            .expect_err("a truncated blob must not validate");
+        prop_assert!(!err.to_string().is_empty());
+        prop_assert!(StoredPlan::decode(PlanCodec::Flat, &wire[..cut]).is_err());
+        // A single bit flip either fails validation (typed error) or
+        // decodes to *some* value — a flip inside a payload field (a
+        // duration, an alloc size) changes data without breaking the
+        // structure. Either way, walking every accessor must stay
+        // in-bounds and panic-free.
+        let mut flipped = wire.clone();
+        let fi = flip_sel % flipped.len();
+        flipped[fi] ^= 1 << bit;
+        if let Ok(fp) = FlatPlanRef::new(Arc::from(flipped.as_slice())) {
+            let _ = fp.plan();
+            let _ = fp.failure();
+            for view in fp.replicas() {
+                for d in 0..view.num_devices() {
+                    for pc in 0..view.num_ops(d) {
+                        if let Some(op) = view.op_view(d, pc) {
+                            if let dynapipe_sim::OpView::Compute { allocs, frees, .. } = op {
+                                let _ = allocs.iter().count();
+                                let _ = frees.iter().count();
+                            }
+                        }
+                    }
+                }
+            }
+            let _ = fp.to_stored();
+        }
     }
 
     #[test]
@@ -242,11 +340,11 @@ proptest! {
         let back: f64 = serde_json::from_str(&json).unwrap();
         prop_assert_eq!(back.to_bits(), bits);
         // The same pattern embedded in a device program op survives both
-        // codecs too.
+        // tree codecs too.
         let program = DeviceProgram {
             ops: vec![SimOp::compute(f, OpLabel::new(0, 0, false))],
         };
-        for codec in PlanCodec::ALL {
+        for codec in [PlanCodec::Json, PlanCodec::Binary] {
             let wire = codec.encode_value(&serde::Serialize::to_value(&program));
             let value = codec.decode_value(&wire).expect("program decodes");
             let back: DeviceProgram = serde::Deserialize::from_value(&value).unwrap();
@@ -256,6 +354,24 @@ proptest! {
                 }
                 other => panic!("unexpected op {other:?}"),
             }
+        }
+        // The flat codec has no Value-tree layout; the same bit pattern
+        // rides an instruction record's fixed-width duration field and
+        // is read back verbatim through the zero-copy view.
+        let wire = dynapipe_core::encode_flat(&StoredPlan {
+            iteration: 0,
+            outcome: StoredOutcome::Plan(StoredLowered {
+                plan: empty_plan(),
+                programs: vec![vec![program]],
+            }),
+        });
+        let flat = FlatPlanRef::new(Arc::from(wire.as_slice())).expect("validates");
+        let view = flat.replica(0).expect("one replica");
+        match view.op_view(0, 0).expect("one op") {
+            dynapipe_sim::OpView::Compute { duration, .. } => {
+                prop_assert_eq!(duration.to_bits(), bits);
+            }
+            other => panic!("unexpected op view {other:?}"),
         }
     }
 }
