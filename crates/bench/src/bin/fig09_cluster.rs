@@ -26,9 +26,19 @@
 //! are keyed at `min(k, iters-1)` so a capped 1-iteration smoke run
 //! still fires every one of them.
 //!
+//! A **datacenter arm** (PR 9) then sweeps executor-host counts up to
+//! O(100) — GPT 3.35B at `dp = host count`, pp=2 — over a
+//! rack-structured [`Fabric`] (racks of 8, 4× oversubscribed cross-rack
+//! bandwidth), crossing both [`StorePlacement`]s with every codec, plus
+//! a churned cell per placement that loses a store-shard owner mid-run
+//! (host 0 itself under the sharded placement — only the single
+//! placement protects the store host). The sweep is the existence proof
+//! for sharding: under the single placement the store host's links
+//! concentrate the entire plan stream; sharding must spread it.
+//!
 //! Emits `BENCH_cluster.json` with per-topology cluster walls, overlap
-//! ratios, per-host breakdowns, per-codec bytes / decode time, and the
-//! churn arms, and **exits nonzero** if
+//! ratios, per-host breakdowns, per-codec bytes / decode time, the
+//! churn arms, and the datacenter sweep, and **exits nonzero** if
 //!
 //! 1. any topology's `RunReport` diverges from the serial driver
 //!    (`behavior_eq` — the golden invariant), **including the churned
@@ -45,10 +55,19 @@
 //! 5. the flat codec stops being zero-copy: its controlled decode
 //!    (validate-and-wrap, `FlatPlanRef::new`) must stay under **0.2×**
 //!    the binary codec's tree rebuild, and its fixed-width arena must
-//!    stay within **1.25×** the binary blob bytes.
+//!    stay within **1.25×** the binary blob bytes, or
+//! 6. any datacenter cell — every host count × codec × placement ×
+//!    fabric combination, churned cells included — diverges from its
+//!    serial oracle, or
+//! 7. sharding stops spreading the plan stream: at the **largest**
+//!    topology, the sharded store's busiest single link must carry
+//!    **strictly fewer** bytes than the single store host serves over
+//!    its downlink (`Σ bytes_fetched` across the other executor hosts).
 
 use dynapipe_bench::{write_json, write_root_artifact, BenchOpts};
-use dynapipe_cluster::{run_training_cluster, ChurnEvent, ChurnScript, ClusterConfig, ClusterReport};
+use dynapipe_cluster::{
+    run_training_cluster, ChurnEvent, ChurnScript, ClusterConfig, ClusterReport, StorePlacement,
+};
 use dynapipe_core::{
     compile_replica, run_training, DynaPipePlanner, PlanCodec, PlannerConfig, RunConfig,
     StoredLowered, StoredOutcome, StoredPlan,
@@ -56,7 +75,7 @@ use dynapipe_core::{
 use dynapipe_cost::{CostModel, ProfileOptions};
 use dynapipe_data::{Dataset, GlobalBatchConfig, GlobalBatchIter};
 use dynapipe_model::{HardwareModel, ModelConfig, ParallelConfig};
-use dynapipe_sim::LinkModel;
+use dynapipe_sim::Fabric;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -200,7 +219,7 @@ fn topologies() -> Vec<ClusterConfig> {
             executor_hosts: 1,
             plan_ahead: 4,
             codec,
-            link: LinkModel::local(),
+            fabric: Fabric::free(),
             ..Default::default()
         });
         out.push(ClusterConfig {
@@ -293,6 +312,134 @@ fn run_model(
     }
 }
 
+/// One cell of the datacenter sweep: a placement × codec deployment at
+/// one executor-host count over the rack-structured fabric, optionally
+/// with a scripted shard-owner loss.
+struct DatacenterCell {
+    stats: ClusterReport,
+    divergence: Option<String>,
+    churned: bool,
+}
+
+/// The datacenter sweep at one executor-host count, with its own serial
+/// oracle (the workload changes with `dp = host count`).
+struct DatacenterPoint {
+    hosts: usize,
+    iterations: usize,
+    serial_feasible: bool,
+    serial_wall_us: f64,
+    cells: Vec<DatacenterCell>,
+}
+
+const DC_HOSTS_PER_RACK: usize = 8;
+const DC_OVERSUBSCRIPTION: f64 = 4.0;
+
+/// Executor-host counts for the datacenter sweep — O(100) hosts at the
+/// top end. `run_all --smoke` caps the sweep to one toy size; it must
+/// stay ≥ 3 hosts so the fan-out gate (sharded busiest link strictly
+/// below the single store host's downlink) is still meaningful.
+fn datacenter_host_counts(opts: &BenchOpts) -> Vec<usize> {
+    if opts.smoke {
+        vec![3]
+    } else {
+        vec![8, 32, 96]
+    }
+}
+
+fn run_datacenter(dataset: &Dataset, opts: &BenchOpts) -> Vec<DatacenterPoint> {
+    let hw = HardwareModel::a100_cluster();
+    let iters = opts.capped(3, 1);
+    datacenter_host_counts(opts)
+        .into_iter()
+        .map(|hosts| {
+            // The runtime clamps executor hosts to the data-parallel
+            // degree, so the sweep sets dp = host count (pp=2 keeps the
+            // per-host model small). The coarse profile is enough: this
+            // arm measures the fabric, not profile fidelity.
+            let cm = Arc::new(CostModel::build(
+                hw.clone(),
+                ModelConfig::gpt_3_35b(),
+                ParallelConfig::new(hosts, 1, 2),
+                &ProfileOptions::coarse(),
+            ));
+            let planner = DynaPipePlanner::new(cm, PlannerConfig::default());
+            let gbs = GlobalBatchConfig {
+                tokens_per_batch: (hosts * 1024).max(8192),
+                max_seq_len: 1024,
+            };
+            let run = RunConfig {
+                max_iterations: Some(iters),
+                ..Default::default()
+            };
+            let serial = run_training(&planner, dataset, gbs, run);
+            let fabric =
+                ClusterConfig::datacenter_fabric(&hw, DC_HOSTS_PER_RACK, DC_OVERSUBSCRIPTION);
+            let mut cells = Vec::new();
+            for placement in [StorePlacement::Single, StorePlacement::Sharded] {
+                for codec in PlanCodec::ALL {
+                    let cfg = ClusterConfig {
+                        planner_hosts: 2,
+                        workers_per_host: 1,
+                        executor_hosts: hosts,
+                        plan_ahead: 4,
+                        codec,
+                        placement,
+                        fabric: fabric.clone(),
+                        ..Default::default()
+                    };
+                    let (report, stats) = run_training_cluster(&planner, dataset, gbs, run, cfg);
+                    cells.push(DatacenterCell {
+                        divergence: serial.behavior_eq(&report).err(),
+                        stats,
+                        churned: false,
+                    });
+                }
+                // The churned cell loses a store-shard owner mid-run —
+                // host 0 itself under the sharded placement (only the
+                // single placement protects the store host; host 1
+                // there). Recovery must stay behavior-identical: the
+                // survivors re-own the dead host's shards and re-fetch
+                // its in-flight blobs from a surviving peer.
+                let lost = match placement {
+                    StorePlacement::Sharded => 0,
+                    StorePlacement::Single => 1,
+                };
+                let cfg = ClusterConfig {
+                    planner_hosts: 2,
+                    workers_per_host: 1,
+                    executor_hosts: hosts,
+                    plan_ahead: 4,
+                    codec: PlanCodec::Binary,
+                    placement,
+                    fabric: fabric.clone(),
+                    churn: ChurnScript::new().at(
+                        1usize.min(iters.saturating_sub(1)),
+                        ChurnEvent::ExecutorLoss { host: lost },
+                    ),
+                    ..Default::default()
+                };
+                let (report, stats) = run_training_cluster(&planner, dataset, gbs, run, cfg);
+                cells.push(DatacenterCell {
+                    divergence: serial.behavior_eq(&report).err(),
+                    stats,
+                    churned: true,
+                });
+            }
+            DatacenterPoint {
+                hosts,
+                iterations: serial.records.len(),
+                serial_feasible: serial.feasible(),
+                serial_wall_us: serial
+                    .records
+                    .iter()
+                    .map(|r| r.planning_time_us + r.measured_time)
+                    .sum(),
+                cells,
+            }
+        })
+        .collect()
+}
+
 fn main() {
     let opts = BenchOpts::default();
     let dataset = Dataset::flanv2(opts.seed, opts.dataset_samples_at_least(6000));
@@ -346,6 +493,31 @@ fn main() {
             );
         }
         outcomes.push(o);
+    }
+
+    println!(
+        "\n  datacenter arm — GPT 3.35B pp2, dp = executor hosts, racks of \
+         {DC_HOSTS_PER_RACK}, {DC_OVERSUBSCRIPTION}x oversubscribed cross-rack"
+    );
+    println!(
+        "  {:>5} {:>8} {:>7} {:>6} | {:>12} {:>13} {:>13}",
+        "hosts", "store", "codec", "churn", "cluster (ms)", "max link (KB)", "fetched (KB)"
+    );
+    let datacenter = run_datacenter(&dataset, &opts);
+    for p in &datacenter {
+        for c in &p.cells {
+            let fetched: u64 = c.stats.executor_hosts.iter().map(|h| h.bytes_fetched).sum();
+            println!(
+                "  {:>5} {:>8} {:>7} {:>6} | {:>12.1} {:>13.1} {:>13.1}",
+                p.hosts,
+                c.stats.placement,
+                c.stats.codec,
+                if c.churned { "loss" } else { "-" },
+                c.stats.cluster_wall_us / 1e3,
+                c.stats.max_link_bytes as f64 / 1e3,
+                fetched as f64 / 1e3,
+            );
+        }
     }
 
     // Codec A/B: blob bytes are exact and deterministic (sum over the
@@ -531,6 +703,58 @@ fn main() {
             serde_json::json!(rayon::current_num_threads()),
         ),
         ("per_model".to_string(), per_model),
+        (
+            "datacenter".to_string(),
+            serde_json::Value::Array(
+                datacenter
+                    .iter()
+                    .map(|p| {
+                        serde_json::Value::Object(vec![
+                            ("hosts".to_string(), serde_json::json!(p.hosts)),
+                            ("iterations".to_string(), serde_json::json!(p.iterations)),
+                            (
+                                "hosts_per_rack".to_string(),
+                                serde_json::json!(DC_HOSTS_PER_RACK),
+                            ),
+                            (
+                                "oversubscription".to_string(),
+                                serde_json::json!(DC_OVERSUBSCRIPTION),
+                            ),
+                            (
+                                "serial_wall_us".to_string(),
+                                serde_json::json!(p.serial_wall_us),
+                            ),
+                            (
+                                "cells".to_string(),
+                                serde_json::Value::Array(
+                                    p.cells
+                                        .iter()
+                                        .map(|c| {
+                                            let mut v = match serde_json::to_value(&c.stats) {
+                                                serde_json::Value::Object(m) => m,
+                                                _ => unreachable!("reports are objects"),
+                                            };
+                                            v.push((
+                                                "churned".to_string(),
+                                                serde_json::json!(c.churned),
+                                            ));
+                                            v.push((
+                                                "report_divergence".to_string(),
+                                                serde_json::json!(c
+                                                    .divergence
+                                                    .clone()
+                                                    .unwrap_or_default()),
+                                            ));
+                                            serde_json::Value::Object(v)
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ]);
     write_root_artifact(&opts, "BENCH_cluster.json", &out);
     write_json("fig09_cluster", &out);
@@ -599,6 +823,72 @@ fn main() {
              blobs ({binary_blob_bytes} B) — the fixed-width arena is bloating the wire"
         );
         failed = true;
+    }
+    // Datacenter gates: the golden invariant over every cell (churned
+    // included), and the fan-out bar at the largest topology.
+    for p in &datacenter {
+        if !p.serial_feasible {
+            eprintln!(
+                "error: datacenter {}h serial oracle is infeasible — the sweep proved nothing",
+                p.hosts
+            );
+            failed = true;
+        }
+        for c in &p.cells {
+            if let Some(d) = &c.divergence {
+                eprintln!(
+                    "error: datacenter {}h {}/{}{} diverged from serial: {d}",
+                    p.hosts,
+                    c.stats.placement,
+                    c.stats.codec,
+                    if c.churned { " (churned)" } else { "" }
+                );
+                failed = true;
+            }
+        }
+    }
+    if let Some(p) = datacenter.last() {
+        for codec in PlanCodec::ALL {
+            let cell = |placement: &str| {
+                p.cells.iter().find(|c| {
+                    !c.churned && c.stats.placement == placement && c.stats.codec == codec.label()
+                })
+            };
+            match (cell("single"), cell("sharded")) {
+                (Some(single), Some(sharded)) => {
+                    // The single store host's downlink: every byte the
+                    // other executor hosts fetch comes off host 0's NIC
+                    // (its own replicas read local copies, uncounted).
+                    let downlink: u64 = single
+                        .stats
+                        .executor_hosts
+                        .iter()
+                        .map(|h| h.bytes_fetched)
+                        .sum();
+                    if sharded.stats.max_link_bytes >= downlink {
+                        eprintln!(
+                            "error: datacenter {}h/{}: sharded busiest link carries \
+                             {} B, not strictly below the single store host's {} B \
+                             downlink — sharding stopped spreading the plan stream",
+                            p.hosts,
+                            codec.label(),
+                            sharded.stats.max_link_bytes,
+                            downlink
+                        );
+                        failed = true;
+                    }
+                }
+                _ => {
+                    eprintln!(
+                        "error: datacenter {}h/{}: missing a placement cell for the \
+                         fan-out gate",
+                        p.hosts,
+                        codec.label()
+                    );
+                    failed = true;
+                }
+            }
+        }
     }
     if failed {
         std::process::exit(1);

@@ -45,9 +45,13 @@ pub enum ChurnEvent {
     /// Executor host `host` drops out: its data-parallel replicas are
     /// re-placed round-robin onto the surviving executor hosts, which
     /// re-fetch subsequent plans from the store over their own
-    /// downlinks. Losing host 0 (the store's colocation host) or the
-    /// last surviving executor is ignored — that kills the store /
-    /// the run, which is fail-stop territory.
+    /// downlinks. Under the sharded store placement the dead host's
+    /// shards re-own onto survivors too (surviving assignments stay
+    /// put) and in-flight blobs are restored from a surviving peer.
+    /// Losing the last surviving executor is always ignored, and under
+    /// `StorePlacement::Single` so is losing host 0 (the store's
+    /// colocation host) — those kill the store / the run, which is
+    /// fail-stop territory, not churn.
     ExecutorLoss {
         /// Executor host index.
         host: usize,

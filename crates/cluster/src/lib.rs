@@ -19,17 +19,29 @@
 //!   workers and `executor_hosts` executor hosts (data-parallel replicas
 //!   assigned round-robin), with a bounded plan-ahead window shared by
 //!   the whole pool;
+//! * the store itself is placed by [`StorePlacement`]: colocated with
+//!   executor host 0 (the paper's deployment), or **sharded** one shard
+//!   per executor host with iteration `i` owned by shard
+//!   `i % executor_hosts` ([`crate::shard`]) — at O(100) hosts the
+//!   single store host's egress concentrates the whole plan stream
+//!   while sharding spreads it, which `fig09_cluster`'s datacenter arm
+//!   measures and gates on;
 //! * every [`dynapipe_core::StoredPlan`] blob crosses **modeled network
-//!   links** ([`dynapipe_sim::link`]: α-β latency + bandwidth with FIFO
-//!   occupancy) — one uplink connection per planner *worker* into the
-//!   store (a worker's push stream is time-ordered, so the FIFO replay
-//!   is exact) and one downlink per executor host out of it — so blob
-//!   *bytes* now have a *time* cost on the training timeline, and the
-//!   wire codec ([`dynapipe_core::PlanCodec`]) becomes a measurable
-//!   design choice;
-//! * per-host counters roll up into a [`ClusterReport`]: plans produced
-//!   and bytes pushed per planner host, bytes fetched / wire time /
-//!   exposed-vs-hidden planning per executor host, and store counters.
+//!   links** priced by a [`dynapipe_sim::Fabric`] host-pair matrix
+//!   (same host free, same rack intra-node, cross-rack oversubscribed
+//!   inter-node) and replayed over α-β FIFO links
+//!   ([`dynapipe_sim::link`]) — one uplink connection per planner
+//!   *worker* × destination shard host (a worker's push stream is
+//!   time-ordered, so the FIFO replay is exact) and one link per
+//!   shard-host → executor-host pair — so blob *bytes* now have a
+//!   *time* cost on the training timeline, and the wire codec
+//!   ([`dynapipe_core::PlanCodec`]) becomes a measurable design choice;
+//! * per-host and per-shard counters roll up into a [`ClusterReport`]:
+//!   plans produced and bytes pushed per planner host, bytes fetched /
+//!   wire time / exposed-vs-hidden planning per executor host, bytes
+//!   stored and served per shard, the busiest single link's bytes, and
+//!   store counters — all under the wire-byte rule documented in
+//!   [`crate::report`] (a byte counts only when it crosses hosts).
 //!
 //! The deployment is **elastic** (PR 6): a [`ChurnScript`] injects
 //! deterministic membership churn — planner-host crashes and joins,
@@ -49,9 +61,11 @@
 pub mod churn;
 pub mod report;
 pub mod runtime;
+pub mod shard;
 pub mod topology;
 
 pub use churn::{ChurnEvent, ChurnScript, Membership};
-pub use report::{ChurnStats, ClusterReport, ExecutorHostStats, PlannerHostStats};
-pub use runtime::run_training_cluster;
+pub use report::{ChurnStats, ClusterReport, ExecutorHostStats, PlannerHostStats, ShardStats};
+pub use runtime::{placed_host, run_training_cluster};
+pub use shard::{ShardMap, StorePlacement};
 pub use topology::ClusterConfig;

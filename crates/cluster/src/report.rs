@@ -1,5 +1,23 @@
 //! Per-host rollups of a cluster run — the data behind
 //! `BENCH_cluster.json`.
+//!
+//! # The wire-byte rule
+//!
+//! A byte counts as a **wire byte** only when it crosses a non-local
+//! fabric hop — i.e. the two endpoints are different hosts. A host
+//! colocated with the shard that owns an iteration's blob reads it out
+//! of host memory: that copy appears in *no* wire counter — not in
+//! `ExecutorHostStats::bytes_fetched`, not in
+//! [`ClusterReport::flat_wire_bytes`], not in
+//! [`ClusterReport::wire_bytes`]. (An earlier revision counted the
+//! store-colocated host's local copy in `flat_wire_bytes` but not in
+//! `bytes_fetched`, so the two could never reconcile; the rule above is
+//! now pinned by a reconciliation assert in
+//! `tests/cluster_equivalence.rs`: on the flat codec,
+//! `flat_wire_bytes == Σ bytes_fetched`, and it is zero on the tree
+//! codecs.) Decode time is *not* a wire quantity: every host with a
+//! replica decodes its own copy, local or not, so `decode_us` counts
+//! all of them.
 
 use dynapipe_core::StoreStats;
 use serde::Serialize;
@@ -33,8 +51,10 @@ pub struct ExecutorHostStats {
     pub host: usize,
     /// Data-parallel replicas assigned to this host (round-robin).
     pub replicas: Vec<usize>,
-    /// Wire bytes this host fetched from the store (zero for the host
-    /// colocated with the store).
+    /// Wire bytes this host fetched from store shards on *other* hosts
+    /// (local copies are free and uncounted — see the module docs' wire-
+    /// byte rule; under the single placement host 0 therefore fetches
+    /// zero).
     pub bytes_fetched: u64,
     /// Simulated wire time of this host's fetches, including FIFO
     /// queueing on its downlink (µs).
@@ -54,6 +74,38 @@ pub struct ExecutorHostStats {
     /// Σ simulated compute occupancy: this host's worst replica makespan
     /// per iteration (µs).
     pub busy_us: f64,
+}
+
+/// What one store shard carried. One entry per shard (a single entry
+/// under [`crate::StorePlacement::Single`]); `fig09_cluster`'s datacenter arm
+/// gates on the spread these counters reveal — no sharded link may
+/// carry what the single store host's egress does.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ShardStats {
+    /// Shard index (iteration `i` routes to shard `i % num_shards`).
+    pub shard: usize,
+    /// Executor host owning this shard at the last iteration routed to
+    /// it (the initial owner if churn never moved it).
+    pub owner: usize,
+    /// Blobs pushed into this shard.
+    pub blobs_stored: u64,
+    /// Wire bytes planners pushed into this shard.
+    pub bytes_pushed: u64,
+    /// Wire bytes this shard served to *remote* fetching hosts (the
+    /// owner's own replicas read local copies, uncounted — the wire-byte
+    /// rule).
+    pub bytes_served: u64,
+    /// Simulated wire time of pushes into this shard, including FIFO
+    /// queueing (µs).
+    pub push_wire_us: f64,
+    /// Simulated wire time of fetches out of this shard, including FIFO
+    /// queueing and post-loss restore transfers (µs).
+    pub fetch_wire_us: f64,
+    /// Blobs restored from a surviving peer after this shard's owner was
+    /// lost with the blob in flight.
+    pub refetched_blobs: u64,
+    /// Wire bytes those restores moved.
+    pub refetch_bytes: u64,
 }
 
 /// Churn and recovery counters of one elastic run. Recovery must be
@@ -87,6 +139,15 @@ pub struct ChurnStats {
     /// Late duplicate blobs discarded at the store door
     /// (`push_discarding`).
     pub duplicate_blobs_discarded: u64,
+    /// Store shards re-owned onto survivors after an executor-host loss
+    /// (sharded placement only; surviving assignments are stable).
+    pub shards_moved: usize,
+    /// In-flight blobs restored from a surviving peer because their
+    /// shard's owner died between push and fetch (sharded placement
+    /// only; the plan-ahead window bounds how many can be in flight).
+    pub blobs_refetched: u64,
+    /// Wire bytes those restores moved across the fabric.
+    pub refetch_bytes: u64,
 }
 
 /// The rollup of one cluster run. The paired
@@ -99,6 +160,10 @@ pub struct ClusterReport {
     pub topology: String,
     /// Wire codec label (`"json"` / `"binary"` / `"flat"`).
     pub codec: String,
+    /// Store placement label (`"single"` / `"sharded"`).
+    pub placement: String,
+    /// Fabric label (`"uniform"` / `"free"` / `"racks(N)"`).
+    pub fabric: String,
     /// Plan-ahead window used.
     pub plan_ahead: usize,
     /// Iterations actually executed.
@@ -107,6 +172,13 @@ pub struct ClusterReport {
     pub planner_hosts: Vec<PlannerHostStats>,
     /// Per-executor-host breakdown.
     pub executor_hosts: Vec<ExecutorHostStats>,
+    /// Per-store-shard breakdown (one entry under the single placement).
+    pub shards: Vec<ShardStats>,
+    /// The busiest single directed host-pair link's total bytes — the
+    /// number the datacenter sweep gates on: under the single placement
+    /// the store host's links concentrate the whole plan stream, under
+    /// the sharded placement no link should come close.
+    pub max_link_bytes: u64,
     /// End of the cluster training timeline (µs): simulated execution
     /// plus whatever distribution latency could not be hidden.
     pub cluster_wall_us: f64,

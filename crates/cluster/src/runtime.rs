@@ -11,13 +11,20 @@
 //!   [`dynapipe_core::PlanCodec`] and push the blob into the
 //!   [`InstructionStore`] — exactly the store-backed worker of the core
 //!   runtime, annotated with which host produced the plan.
-//! * **The store** lives on executor host 0 (the paper's Redis
-//!   placement). A planner worker's push crosses its **uplink
-//!   connection** (one per worker, so the FIFO replay matches the
-//!   worker's real push order); an executor host's fetch crosses its
-//!   **downlink**; host 0 fetches through local host memory. Links are
-//!   α-β with FIFO occupancy ([`dynapipe_sim::Link`]), so bursts of
-//!   blobs queue instead of teleporting.
+//! * **The store** lives where [`crate::StorePlacement`] says: on
+//!   executor host 0 (the paper's Redis placement), or sharded one
+//!   shard per executor host with iteration `i` owned by shard
+//!   `i % executor_hosts` ([`crate::shard`]). A planner worker's push
+//!   crosses its **uplink connection** to the owning shard's host (one
+//!   connection per worker × destination, so the FIFO replay matches
+//!   the worker's real push order); an executor host's fetch crosses
+//!   the **shard-host → executor** link; a host colocated with the
+//!   owning shard reads host memory for free. Every hop is priced by
+//!   the [`dynapipe_sim::Fabric`] host-pair matrix (same host free,
+//!   same rack intra-node, cross-rack oversubscribed inter-node) and
+//!   replayed over α-β links with FIFO occupancy
+//!   ([`dynapipe_sim::Link`]), so bursts of blobs queue instead of
+//!   teleporting.
 //! * **Executor hosts** — each data-parallel replica runs on host
 //!   `r % executor_hosts`. The replica engines are the same
 //!   [`execute_lowered`] fold as the serial driver (worst makespan,
@@ -34,8 +41,11 @@
 //! accounting, extended with the wire hop. For iteration `i`:
 //!
 //! ```text
-//! at_store    = uplink[w].transmit(pushed_at, bytes)        (w = planner worker)
-//! avail_h     = downlink[h].transmit(at_store, bytes) + decode_us
+//! at_store    = uplink[w→s].transmit(pushed_at, bytes)      (w = planner worker,
+//!                                                            s = owning shard's host)
+//! at_shard    = restore[peer→s].transmit(at_store, bytes)   (only after the shard's
+//!                                                            owner died mid-flight)
+//! avail_h     = link[s→h].transmit(at_shard, bytes) + decode_us
 //! exposed_h   = max(0, avail_h − sync_end(i−1))
 //! start_h     = max(sync_end(i−1), avail_h)
 //! sync_end(i) = max_h(start_h + span_h) + dp_sync
@@ -48,7 +58,8 @@
 //! what [`ClusterReport`] itemizes per host.
 
 use crate::churn::{ChurnEvent, Membership};
-use crate::report::{ChurnStats, ClusterReport, ExecutorHostStats, PlannerHostStats};
+use crate::report::{ChurnStats, ClusterReport, ExecutorHostStats, PlannerHostStats, ShardStats};
+use crate::shard::{ShardMap, StorePlacement};
 use crate::topology::ClusterConfig;
 use dynapipe_core::driver::{record_iteration, IterationPlanner, RunConfig, RunReport};
 use dynapipe_core::planner::{IterationPlan, PlanError};
@@ -59,7 +70,8 @@ use dynapipe_core::runtime::{
 use dynapipe_core::store::InstructionStore;
 use dynapipe_batcher::PaddingStats;
 use dynapipe_data::{BatchStream, Dataset, GlobalBatchConfig};
-use dynapipe_sim::{Link, LinkModel};
+use dynapipe_sim::Link;
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -94,6 +106,32 @@ struct ClaimedCluster {
     /// the executor's accounting follows the placement the iteration
     /// was *fetched* under, deterministically.
     placement: Vec<usize>,
+    /// Executor host owning this iteration's store shard, snapshotted by
+    /// the prefetcher under the same discipline as `placement`.
+    shard_host: usize,
+    /// `Some(peer)` when the shard's previous owner died with this blob
+    /// in flight: the surviving `peer` streams its replica to the new
+    /// owner before any fetch can start.
+    recover_from: Option<usize>,
+}
+
+/// Resolve data-parallel replica `r`'s executor host from a placement
+/// snapshot.
+///
+/// The snapshot is built once per iteration by the prefetcher and must
+/// cover every replica; a short snapshot is a **hard error**. (An
+/// earlier revision silently fell back to the static
+/// `r % executor_hosts` assignment, which can point at a host a churn
+/// script already killed — the replica's time would be accounted to a
+/// dead host's timeline without any test noticing.)
+pub fn placed_host(placement: &[usize], replica: usize) -> Result<usize, String> {
+    placement.get(replica).copied().ok_or_else(|| {
+        format!(
+            "placement snapshot covers {} replicas but replica {replica} needs a host; \
+             falling back to the static assignment could route to a churn-killed host",
+            placement.len()
+        )
+    })
 }
 
 enum Prefetched {
@@ -154,10 +192,23 @@ pub fn run_training_cluster(
         padding: PaddingStats::default(),
         failure: None,
     };
+    let initial_shards = ShardMap::new(cluster.placement, cluster.executor_hosts);
     let mut out = ClusterReport {
         topology: cluster.label(),
         codec: cluster.codec.label().to_string(),
+        placement: cluster.placement.label().to_string(),
+        fabric: cluster.fabric.label(),
         plan_ahead: cluster.plan_ahead,
+        shards: initial_shards
+            .owners()
+            .iter()
+            .enumerate()
+            .map(|(s, &owner)| ShardStats {
+                shard: s,
+                owner,
+                ..Default::default()
+            })
+            .collect(),
         planner_hosts: host_workers
             .iter()
             .enumerate()
@@ -176,27 +227,19 @@ pub fn run_training_cluster(
         ..Default::default()
     };
 
-    // One uplink *connection* per planner worker into the store (a
-    // worker's pushes are ordered in time, so the FIFO math replays
-    // exactly; a per-host shared link would be replayed in iteration
-    // order, which races push order across workers and would charge
-    // phantom queueing), one downlink per executor host out of it;
-    // host 0 is colocated with the store. Downlinks are legitimately
-    // FIFO in iteration order: the executor demands blobs in order, so
-    // fetch i+1 cannot start before fetch i finishes on that host's
-    // link.
-    let mut uplinks: Vec<Link> = (0..worker_host.len())
-        .map(|_| Link::new(cluster.link))
-        .collect();
-    let mut downlinks: Vec<Link> = (0..cluster.executor_hosts)
-        .map(|h| {
-            Link::new(if h == 0 {
-                LinkModel::local()
-            } else {
-                cluster.link
-            })
-        })
-        .collect();
+    // One uplink *connection* per planner worker × destination shard
+    // host (a worker's pushes are ordered in time, so the FIFO math
+    // replays exactly; a per-host shared link would be replayed in
+    // iteration order, which races push order across workers and would
+    // charge phantom queueing), and one link per shard-host → executor-
+    // host pair out of the store; a host colocated with the owning
+    // shard rides the fabric's free same-host link. Fetch-side links
+    // are legitimately FIFO in iteration order: the executor demands
+    // blobs in order, so fetch i+1 cannot start before fetch i finishes
+    // on that pair's link. Connections are created lazily from the
+    // fabric — a pair that never carries a blob never exists.
+    let mut uplinks: BTreeMap<(usize, usize), Link> = BTreeMap::new();
+    let mut interlinks: BTreeMap<(usize, usize), Link> = BTreeMap::new();
 
     let nested_threads = (rayon::current_num_threads() / cluster.total_workers().max(1)).max(1);
 
@@ -300,6 +343,10 @@ pub fn run_training_cluster(
                 let mut executor_alive = vec![true; cluster.executor_hosts];
                 let mut replica_host: Vec<usize> =
                     (0..dp).map(|r| cluster.executor_host_of(r)).collect();
+                let mut shard_map = ShardMap::new(cluster.placement, cluster.executor_hosts);
+                // Iteration → surviving peer that must restore the blob
+                // to its shard's new owner (owner died mid-flight).
+                let mut pending_recovery: BTreeMap<usize, usize> = BTreeMap::new();
                 for it in 0..cap {
                     // --- Scripted churn due at this iteration ---------
                     for ev in script.events_at(it) {
@@ -338,10 +385,17 @@ pub fn run_training_cluster(
                                 let survivors: Vec<usize> = (0..cluster.executor_hosts)
                                     .filter(|&h| h != *host && executor_alive[h])
                                     .collect();
-                                // Host 0 holds the store; losing it (or
-                                // the last survivor) is fail-stop, not
-                                // churn. A dead/unknown host is a no-op.
-                                if *host == 0
+                                // Under the single placement host 0
+                                // holds the whole store; losing it (or
+                                // the last survivor under either
+                                // placement) is fail-stop, not churn. A
+                                // dead/unknown host is a no-op. Under
+                                // the sharded placement *any* host may
+                                // go — its shards re-own onto survivors.
+                                let store_protected = cluster.placement
+                                    == StorePlacement::Single
+                                    && *host == 0;
+                                if store_protected
                                     || *host >= cluster.executor_hosts
                                     || !executor_alive[*host]
                                     || survivors.is_empty()
@@ -362,11 +416,51 @@ pub fn run_training_cluster(
                                             led.replicas_moved += 1;
                                         }
                                     }
+                                    // Sharded store recovery: only the
+                                    // dead host's shards move (surviving
+                                    // assignments are stable), and any
+                                    // blob that may already sit on the
+                                    // dead owner — conservatively, the
+                                    // whole plan-ahead window from here —
+                                    // is restored from a surviving peer
+                                    // before its fetches replay.
+                                    let lost_shards: Vec<usize> = shard_map
+                                        .owners()
+                                        .iter()
+                                        .enumerate()
+                                        .filter(|(_, &o)| o == *host)
+                                        .map(|(s, _)| s)
+                                        .collect();
+                                    if !lost_shards.is_empty() {
+                                        led.shards_moved +=
+                                            shard_map.reassign_lost(*host, &survivors);
+                                        let window_end =
+                                            it.saturating_add(cluster.plan_ahead).min(cap);
+                                        for j in it..window_end {
+                                            let s = shard_map.shard_of(j);
+                                            if !lost_shards.contains(&s) {
+                                                continue;
+                                            }
+                                            let new_owner = shard_map.owner(s);
+                                            // The lowest surviving host
+                                            // that is not the new owner
+                                            // holds the replica; a sole
+                                            // survivor already owns it.
+                                            if let Some(&peer) = survivors
+                                                .iter()
+                                                .find(|&&h| h != new_owner)
+                                            {
+                                                pending_recovery.insert(j, peer);
+                                            }
+                                        }
+                                    }
                                 }
                             }
                         }
                     }
                     let placement = replica_host.clone();
+                    let shard_host = shard_map.host_of(it);
+                    let recover_from = pending_recovery.remove(&it);
 
                     // --- Bounded wait + straggler re-issue ------------
                     let meta = loop {
@@ -420,6 +514,8 @@ pub fn run_training_cluster(
                         outcome,
                         decode_us,
                         placement,
+                        shard_host,
+                        recover_from,
                     };
                     if tx.send(Prefetched::Iteration(Box::new(claimed))).is_err() {
                         return; // executor stopped consuming
@@ -432,6 +528,8 @@ pub fn run_training_cluster(
         // The executor: strictly in order on the caller thread, folding
         // the per-host timelines as it goes.
         let mut vclock = 0.0f64;
+        let mut refetched_blobs = 0u64;
+        let mut refetched_bytes = 0u64;
         for it in 0..cap {
             let claimed = match rx.recv() {
                 Ok(Prefetched::EndOfEpoch) => break,
@@ -452,6 +550,8 @@ pub fn run_training_cluster(
                 outcome,
                 decode_us,
                 placement,
+                shard_host,
+                recover_from,
             } = *claimed;
             let (plan, programs) = match outcome {
                 Ok(x) => x,
@@ -478,15 +578,51 @@ pub fn run_training_cluster(
             // --- Wire + per-host timeline ---------------------------------
             let bytes = meta.blob_bytes as u64;
             let p = worker_host[meta.worker];
-            let up_before = uplinks[meta.worker].wire_us();
-            let at_store = uplinks[meta.worker].transmit(meta.pushed_at_us, bytes);
+            let shard = it % out.shards.len();
+            let up = uplinks
+                .entry((meta.worker, shard_host))
+                .or_insert_with(|| {
+                    cluster
+                        .fabric
+                        .connect(cluster.planner_global(p), cluster.executor_global(shard_host))
+                });
+            let up_before = up.wire_us();
+            let at_store = up.transmit(meta.pushed_at_us, bytes);
+            let push_wire = up.wire_us() - up_before;
             let ph = &mut out.planner_hosts[p];
             ph.plans_produced += 1;
             ph.plan_us += meta.plan_us;
             ph.lower_us += meta.lower_us;
             ph.serialize_us += meta.serialize_us;
             ph.bytes_pushed += bytes;
-            ph.push_wire_us += uplinks[meta.worker].wire_us() - up_before;
+            ph.push_wire_us += push_wire;
+            {
+                let sh = &mut out.shards[shard];
+                sh.owner = shard_host;
+                sh.blobs_stored += 1;
+                sh.bytes_pushed += bytes;
+                sh.push_wire_us += push_wire;
+            }
+
+            // Post-loss restore: the shard's previous owner died with
+            // this blob in flight, so a surviving peer streams its
+            // replica to the new owner before any fetch can start.
+            let at_shard = if let Some(peer) = recover_from {
+                let link = interlinks
+                    .entry((peer, shard_host))
+                    .or_insert_with(|| cluster.fabric.connect(peer, shard_host));
+                let before = link.wire_us();
+                let restored = link.transmit(at_store, bytes);
+                let sh = &mut out.shards[shard];
+                sh.refetched_blobs += 1;
+                sh.refetch_bytes += bytes;
+                sh.fetch_wire_us += link.wire_us() - before;
+                refetched_blobs += 1;
+                refetched_bytes += bytes;
+                restored
+            } else {
+                at_store
+            };
 
             // Hosts with at least one replica this iteration fetch the
             // blob and run their share.
@@ -494,26 +630,40 @@ pub fn run_training_cluster(
             for (r, &makespan) in exec.replica_makespans.iter().enumerate() {
                 // Placement under churn: the snapshot the prefetcher took
                 // when it fetched this iteration (initially
-                // `r % executor_hosts`; re-placed on executor loss).
-                let h = placement.get(r).copied().unwrap_or_else(|| cluster.executor_host_of(r));
+                // `r % executor_hosts`; re-placed on executor loss). A
+                // snapshot that fails to cover a replica is a hard error
+                // — the silent static fallback it replaces could route
+                // to a churn-killed host.
+                let h = placed_host(&placement, r).expect("short placement snapshot");
                 spans[h] = spans[h].max(makespan);
                 if !out.executor_hosts[h].replicas.contains(&r) {
                     out.executor_hosts[h].replicas.push(r);
                 }
             }
             let mut sync_end = f64::NEG_INFINITY;
+            let mut remote_copies = 0u64;
             for (h, &span) in spans.iter().enumerate() {
                 if span == f64::NEG_INFINITY {
                     continue; // no replica landed here this iteration
                 }
-                let down_before = downlinks[h].wire_us();
-                let arrival = downlinks[h].transmit(at_store, bytes);
+                let link = interlinks
+                    .entry((shard_host, h))
+                    .or_insert_with(|| cluster.fabric.connect(shard_host, h));
+                let down_before = link.wire_us();
+                let arrival = link.transmit(at_shard, bytes);
+                let fetch_wire = link.wire_us() - down_before;
                 let avail = arrival + decode_us;
                 let eh = &mut out.executor_hosts[h];
-                if h != 0 {
+                // The wire-byte rule (see report.rs): only copies that
+                // cross hosts count — the shard owner's replicas read
+                // host memory.
+                if h != shard_host {
                     eh.bytes_fetched += bytes;
+                    out.shards[shard].bytes_served += bytes;
+                    remote_copies += 1;
                 }
-                eh.fetch_wire_us += downlinks[h].wire_us() - down_before;
+                eh.fetch_wire_us += fetch_wire;
+                out.shards[shard].fetch_wire_us += fetch_wire;
                 eh.decode_us += decode_us;
                 eh.exposed_us += (avail - vclock).max(0.0);
                 eh.busy_us += span;
@@ -531,10 +681,12 @@ pub fn run_training_cluster(
             out.decode_us += decode_us * spans.iter().filter(|s| s.is_finite()).count() as f64;
             out.total_planning_us += meta.plan_us + meta.lower_us;
             if cluster.codec == dynapipe_core::PlanCodec::Flat {
-                // Every host with a replica this iteration ran engines
-                // straight over its fetched copy of the blob.
-                out.flat_wire_bytes +=
-                    bytes * spans.iter().filter(|s| s.is_finite()).count() as u64;
+                // Every host that fetched a *remote* copy ran engines
+                // straight over the wire bytes; the shard owner's local
+                // copy is host memory, not wire (the wire-byte rule —
+                // an earlier revision counted it here but not in
+                // bytes_fetched, so the two could never reconcile).
+                out.flat_wire_bytes += bytes * remote_copies;
             }
             out.iterations += 1;
 
@@ -548,6 +700,11 @@ pub fn run_training_cluster(
             );
         }
         out.cluster_wall_us = vclock;
+        {
+            let mut led = ledger.lock().unwrap_or_else(|e| e.into_inner());
+            led.blobs_refetched = refetched_blobs;
+            led.refetch_bytes = refetched_bytes;
+        }
         // Teardown: stop workers waiting on the window or about to claim
         // past a failure, wake a prefetcher stuck on a plan that will
         // never come, and release the workers of scripted-join hosts
@@ -571,8 +728,16 @@ pub fn run_training_cluster(
     // Cluster totals. Host pipeline cost counts every host's decode (each
     // fetching host burns its own CPU on its copy).
     out.total_planning_us += out.serialize_us + out.decode_us;
-    out.total_wire_us = uplinks.iter().map(Link::wire_us).sum::<f64>()
-        + downlinks.iter().map(Link::wire_us).sum::<f64>();
+    out.total_wire_us = uplinks.values().map(Link::wire_us).sum::<f64>()
+        + interlinks.values().map(Link::wire_us).sum::<f64>();
+    // The busiest single directed host-pair link — local links never
+    // count bytes, so this is a pure wire quantity.
+    out.max_link_bytes = uplinks
+        .values()
+        .chain(interlinks.values())
+        .map(Link::bytes)
+        .max()
+        .unwrap_or(0);
     let pushed: u64 = out.planner_hosts.iter().map(|h| h.bytes_pushed).sum();
     out.wire_bytes = pushed
         + out
@@ -608,4 +773,21 @@ pub fn run_training_cluster(
     }
     out.host_wall_us = t0.elapsed().as_secs_f64() * 1e6;
     (report, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_placement_snapshot_is_a_hard_error() {
+        // The regression: with host 1 killed by churn, a snapshot
+        // re-placing replica 0 onto host 0 but (wrongly) missing
+        // replica 1 used to fall back to the static `r % hosts`
+        // assignment — routing replica 1 straight back to dead host 1.
+        assert_eq!(placed_host(&[0, 0], 1), Ok(0));
+        let err = placed_host(&[0], 1).expect_err("short snapshot must be rejected");
+        assert!(err.contains("replica 1"), "{err}");
+        assert!(placed_host(&[], 0).is_err());
+    }
 }

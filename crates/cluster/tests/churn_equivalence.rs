@@ -4,12 +4,18 @@
 //! replica re-placement, straggler slowdown with deadline re-issue —
 //! must produce a [`dynapipe_core::RunReport`] bit-identical
 //! (`behavior_eq`) to both the serial driver and the undisturbed
-//! cluster run, across both wire codecs, with the instruction store
+//! cluster run, across every wire codec, with the instruction store
 //! empty at the end and every push reconciled (taken or discarded,
-//! never orphaned — re-issue duplicates included).
+//! never orphaned — re-issue duplicates included). Under the sharded
+//! store placement the matrix extends to losing shard *owners* —
+//! including host 0, which only the single placement protects — whose
+//! shards must re-own onto survivors (surviving assignments stable)
+//! and whose in-flight blobs must be restored from a surviving peer,
+//! all counted in [`dynapipe_cluster::ChurnStats`] and never behavioral.
 
 use dynapipe_cluster::{
-    run_training_cluster, ChurnEvent, ChurnScript, ClusterConfig, ClusterReport,
+    placed_host, run_training_cluster, ChurnEvent, ChurnScript, ClusterConfig, ClusterReport,
+    StorePlacement,
 };
 use dynapipe_core::{
     run_training, DynaPipePlanner, IterationPlanner, PlanCodec, PlannerConfig, RunConfig,
@@ -274,6 +280,113 @@ fn losing_the_store_host_is_ignored_not_fatal() {
     );
     assert_eq!(stats.churn.events_applied, 1, "only the first host-1 loss lands");
     assert_eq!(stats.churn.events_ignored, 2);
+}
+
+#[test]
+fn sharded_owner_loss_reowns_shards_and_refetches_in_flight_blobs() {
+    // dp=3 over three sharded executor hosts; host 1 dies at iteration
+    // 1. Exactly its shard (shard 1) re-owns onto a survivor, the
+    // in-flight blob of iteration 1 — already pushed toward the dead
+    // owner — is restored from the surviving peer, and none of it may
+    // move a bit of behavior.
+    let planner = DynaPipePlanner::new(cost_model(2, 3), PlannerConfig::default());
+    let dataset = Dataset::flanv2(359, 900);
+    let run = RunConfig {
+        max_iterations: Some(4),
+        ..Default::default()
+    };
+    let serial = run_training(&planner, &dataset, gbs(49152), run);
+    assert!(serial.feasible(), "{:?}", serial.failure);
+    for codec in PlanCodec::ALL {
+        let cfg = ClusterConfig {
+            planner_hosts: 1,
+            workers_per_host: 2,
+            executor_hosts: 3,
+            plan_ahead: 3,
+            codec,
+            placement: StorePlacement::Sharded,
+            churn: ChurnScript::new().at(1, ChurnEvent::ExecutorLoss { host: 1 }),
+            ..Default::default()
+        };
+        let label = format!("shard-loss/{}", codec.label());
+        let stats = assert_churn_equivalent(
+            &planner, &dataset, gbs(49152), run, &serial, cfg, &label,
+        );
+        assert_eq!(stats.churn.executor_losses, 1, "{label}");
+        assert_eq!(stats.churn.replicas_moved, 1, "{label}");
+        // Only the dead owner's shard moved; survivors' shards stayed.
+        assert_eq!(stats.churn.shards_moved, 1, "{label}");
+        assert_eq!(stats.shards.len(), 3, "{label}: one shard per host");
+        assert_eq!(stats.shards[0].owner, 0, "{label}: surviving shard 0 is stable");
+        assert_eq!(stats.shards[2].owner, 2, "{label}: surviving shard 2 is stable");
+        assert_ne!(stats.shards[1].owner, 1, "{label}: lost shard must re-own");
+        // Iteration 1's blob was in flight to the dead owner: exactly
+        // one restore from the surviving peer, sized like a blob.
+        assert_eq!(stats.churn.blobs_refetched, 1, "{label}");
+        assert!(
+            stats.churn.refetch_bytes > 0
+                && (stats.churn.refetch_bytes as f64) < 2.0 * stats.mean_blob_bytes,
+            "{label}: one blob restored, got {} bytes",
+            stats.churn.refetch_bytes
+        );
+        // The per-shard view agrees with the ledger.
+        let refetched: u64 = stats.shards.iter().map(|s| s.refetched_blobs).sum();
+        let refetch_bytes: u64 = stats.shards.iter().map(|s| s.refetch_bytes).sum();
+        assert_eq!(refetched, stats.churn.blobs_refetched, "{label}");
+        assert_eq!(refetch_bytes, stats.churn.refetch_bytes, "{label}");
+        assert_eq!(stats.shards[1].refetched_blobs, 1, "{label}: the moved shard restored");
+    }
+}
+
+#[test]
+fn sharded_placement_survives_losing_host_zero() {
+    // Under the single placement host 0 holds the whole store and its
+    // loss is ignored as fail-stop; under the sharded placement host 0
+    // owns just one shard and may die like anyone else — the guard this
+    // PR lifts.
+    let planner = DynaPipePlanner::new(cost_model(2, 2), PlannerConfig::default());
+    let dataset = Dataset::flanv2(367, 600);
+    let run = RunConfig {
+        max_iterations: Some(3),
+        ..Default::default()
+    };
+    let serial = run_training(&planner, &dataset, gbs(32768), run);
+    assert!(serial.feasible(), "{:?}", serial.failure);
+    let cfg = ClusterConfig {
+        planner_hosts: 1,
+        workers_per_host: 1,
+        executor_hosts: 2,
+        plan_ahead: 2,
+        codec: PlanCodec::Binary,
+        placement: StorePlacement::Sharded,
+        churn: ChurnScript::new().at(1, ChurnEvent::ExecutorLoss { host: 0 }),
+        ..Default::default()
+    };
+    let stats = assert_churn_equivalent(
+        &planner, &dataset, gbs(32768), run, &serial, cfg, "shard-host0",
+    );
+    assert_eq!(stats.churn.events_applied, 1, "host 0 loss must land under sharding");
+    assert_eq!(stats.churn.events_ignored, 0);
+    assert_eq!(stats.churn.executor_losses, 1);
+    assert_eq!(stats.churn.shards_moved, 1, "host 0's shard re-owns onto host 1");
+    assert_eq!(stats.shards[0].owner, 1);
+    // Sole survivor: it already holds the replica, nothing to restore.
+    assert_eq!(stats.churn.blobs_refetched, 0);
+}
+
+#[test]
+fn stale_placement_snapshot_errors_instead_of_routing_to_dead_host() {
+    // The regression behind the hard error: after host 1 dies, the
+    // prefetcher's snapshot re-places both replicas onto host 0. If
+    // that snapshot were ever truncated, the old fallback would compute
+    // `replica % executor_hosts` — routing replica 1 straight back to
+    // the dead host and silently accounting its time there. A short
+    // snapshot must refuse instead.
+    let full = vec![0, 0];
+    assert_eq!(placed_host(&full, 0), Ok(0));
+    assert_eq!(placed_host(&full, 1), Ok(0));
+    let err = placed_host(&full[..1], 1).expect_err("short snapshot must hard-error");
+    assert!(err.contains("replica 1"), "{err}");
 }
 
 #[test]

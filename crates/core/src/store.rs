@@ -54,6 +54,19 @@
 //!   push/take/discard totals ([`StoreStats`]), surfaced through
 //!   `RuntimeStats` by the store-backed runtime.
 //!
+//! # Where the store lives
+//!
+//! The shards *here* are lock shards — a concurrency detail invisible
+//! outside this module. Where the store lives **on the cluster** is a
+//! separate axis, modeled entirely in the cluster layer
+//! (`dynapipe_cluster::shard`): a single store host (the paper's Redis
+//! deployment) or one store shard per executor host, with iteration
+//! `i`'s blob routed to shard `i % num_shards`. Either way every blob
+//! still flows through this one in-process store — placement changes
+//! *which fabric hops are priced and counted* (a byte is a wire byte
+//! only when it crosses hosts; the shard owner's local copy is free),
+//! never which bytes executors run.
+//!
 //! # Occupancy semantics
 //!
 //! [`InstructionStore::len`] reads a single atomic counter, not a sum of

@@ -85,6 +85,7 @@ impl LintConfig {
                 "ChurnStats",
                 "StoreStats",
                 "ShardCounters",
+                "ShardStats",
                 "RuntimeStats",
             ]
             .iter()

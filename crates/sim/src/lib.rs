@@ -38,7 +38,7 @@ pub mod op;
 pub mod trace;
 
 pub use engine::{Engine, EngineConfig, JitterConfig, SimError, SimResult};
-pub use link::{Link, LinkModel};
+pub use link::{Fabric, Link, LinkModel, LinkModelError};
 pub use memory::{AllocatorMode, AllocatorStats, CachingAllocator, MemoryTracker};
 pub use op::{
     AllocId, AllocSpec, AllocsRef, CommDir, CommTag, DeviceProgram, FreesRef, InstructionSource,
