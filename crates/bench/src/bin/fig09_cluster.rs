@@ -66,7 +66,8 @@
 
 use dynapipe_bench::{write_json, write_root_artifact, BenchOpts};
 use dynapipe_cluster::{
-    run_training_cluster, ChurnEvent, ChurnScript, ClusterConfig, ClusterReport, StorePlacement,
+    run_training_cluster, run_training_cluster_traced, ChurnEvent, ChurnScript, ClusterConfig,
+    ClusterReport, StorePlacement,
 };
 use dynapipe_core::{
     compile_replica, run_training, DynaPipePlanner, PlanCodec, PlannerConfig, RunConfig,
@@ -76,6 +77,7 @@ use dynapipe_cost::{CostModel, ProfileOptions};
 use dynapipe_data::{Dataset, GlobalBatchConfig, GlobalBatchIter};
 use dynapipe_model::{HardwareModel, ModelConfig, ParallelConfig};
 use dynapipe_sim::Fabric;
+use dynapipe_trace::{chrome::to_chrome_trace, sim_eq, Trace, TraceSink};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -440,6 +442,236 @@ fn run_datacenter(dataset: &Dataset, opts: &BenchOpts) -> Vec<DatacenterPoint> {
         .collect()
 }
 
+/// Per-host detail kept per datacenter cell in `BENCH_cluster.json`.
+/// The O(100)-host sweep used to serialize every `ExecutorHostStats`
+/// and `ShardStats` of every cell (~28k lines of artifact); the gates
+/// only need per-cell totals, so the artifact now carries summaries
+/// plus the first few hosts as a sample.
+const DC_HOST_JSON_CAP: usize = 8;
+
+/// One datacenter cell as artifact JSON: every gated quantity in full
+/// (placement, codec, churn flag, wall, busiest link, fetched-byte
+/// total, divergence), per-cell rollups, and per-host arrays capped at
+/// [`DC_HOST_JSON_CAP`] entries with an explicit `omitted` count.
+fn datacenter_cell_json(c: &DatacenterCell) -> serde_json::Value {
+    let s = &c.stats;
+    let fetched: u64 = s.executor_hosts.iter().map(|h| h.bytes_fetched).sum();
+    let pushed: u64 = s.planner_hosts.iter().map(|h| h.bytes_pushed).sum();
+    let cap_array = |n: usize, full: serde_json::Value| -> (serde_json::Value, usize) {
+        match full {
+            serde_json::Value::Array(mut v) => {
+                let omitted = v.len().saturating_sub(n);
+                v.truncate(n);
+                (serde_json::Value::Array(v), omitted)
+            }
+            other => (other, 0),
+        }
+    };
+    let (executor_hosts, executors_omitted) = cap_array(
+        DC_HOST_JSON_CAP,
+        serde_json::to_value(&s.executor_hosts),
+    );
+    let (shards, shards_omitted) = cap_array(DC_HOST_JSON_CAP, serde_json::to_value(&s.shards));
+    serde_json::Value::Object(vec![
+        ("topology".to_string(), serde_json::json!(s.topology)),
+        ("placement".to_string(), serde_json::json!(s.placement)),
+        ("codec".to_string(), serde_json::json!(s.codec)),
+        ("fabric".to_string(), serde_json::json!(s.fabric)),
+        ("churned".to_string(), serde_json::json!(c.churned)),
+        ("iterations".to_string(), serde_json::json!(s.iterations)),
+        (
+            "cluster_wall_us".to_string(),
+            serde_json::json!(s.cluster_wall_us),
+        ),
+        (
+            "serial_wall_us".to_string(),
+            serde_json::json!(s.serial_wall_us),
+        ),
+        ("exec_sim_us".to_string(), serde_json::json!(s.exec_sim_us)),
+        ("exposed_us".to_string(), serde_json::json!(s.exposed_us)),
+        (
+            "overlap_ratio".to_string(),
+            serde_json::json!(s.overlap_ratio),
+        ),
+        ("wire_bytes".to_string(), serde_json::json!(s.wire_bytes)),
+        (
+            "flat_wire_bytes".to_string(),
+            serde_json::json!(s.flat_wire_bytes),
+        ),
+        (
+            "max_link_bytes".to_string(),
+            serde_json::json!(s.max_link_bytes),
+        ),
+        (
+            "total_wire_us".to_string(),
+            serde_json::json!(s.total_wire_us),
+        ),
+        (
+            "mean_blob_bytes".to_string(),
+            serde_json::json!(s.mean_blob_bytes),
+        ),
+        ("bytes_fetched_total".to_string(), serde_json::json!(fetched)),
+        ("bytes_pushed_total".to_string(), serde_json::json!(pushed)),
+        // Store scalars only: `per_shard` scales with host count and
+        // duplicates the capped `shards` sample below.
+        (
+            "store".to_string(),
+            serde_json::Value::Object(vec![
+                ("pushes".to_string(), serde_json::json!(s.store.pushes)),
+                ("takes".to_string(), serde_json::json!(s.store.takes)),
+                ("discarded".to_string(), serde_json::json!(s.store.discarded)),
+                (
+                    "peak_occupancy".to_string(),
+                    serde_json::json!(s.store.peak_occupancy),
+                ),
+                ("peak_bytes".to_string(), serde_json::json!(s.store.peak_bytes)),
+            ]),
+        ),
+        ("churn".to_string(), serde_json::to_value(&s.churn)),
+        ("planner_hosts".to_string(), serde_json::to_value(&s.planner_hosts)),
+        ("executor_hosts".to_string(), executor_hosts),
+        (
+            "executor_hosts_omitted".to_string(),
+            serde_json::json!(executors_omitted),
+        ),
+        ("shards".to_string(), shards),
+        ("shards_omitted".to_string(), serde_json::json!(shards_omitted)),
+        (
+            "report_divergence".to_string(),
+            serde_json::json!(c.divergence.clone().unwrap_or_default()),
+        ),
+    ])
+}
+
+/// Span capacity for the trace arm's bounded ring: ample for the small
+/// deployment (a dropped span fails reconciliation by design).
+const TRACE_CAP: usize = 65536;
+
+/// The **trace arm** (PR 10): the unified span recorder on a small
+/// sharded deployment, held to the determinism contract. Every cell —
+/// codec × placement, a churned cell per placement, and a rerun of the
+/// first cell — must (a) stay behavior-identical to the serial oracle,
+/// (b) produce a structurally valid trace whose payload totals
+/// reconcile **exactly** against the run's own counters
+/// (`Trace::reconcile`: byte sums, span counts, bitwise exposed-µs
+/// ledgers), and (c) produce the **bit-identical Sim-domain span
+/// sequence** as every other cell (`sim_eq`) — the simulated timeline
+/// is behavior, not stats, so codec, placement, churn and rerun must
+/// not move it. The richest cell (sharded + shard-owner loss) is
+/// exported to `results/TRACE_cluster.json` plus a Chrome trace-event
+/// rendering; `run_all --smoke` round-trips the export through
+/// `trace_report`, which recomputes the critical path from the spans.
+fn run_trace_arm(dataset: &Dataset, opts: &BenchOpts) -> (Vec<String>, Option<Trace>) {
+    let hosts = 3usize;
+    let iters = opts.capped(3, 1);
+    let cm = Arc::new(CostModel::build(
+        HardwareModel::a100_cluster(),
+        ModelConfig::gpt_3_35b(),
+        ParallelConfig::new(hosts, 1, 2),
+        &ProfileOptions::coarse(),
+    ));
+    let planner = DynaPipePlanner::new(cm, PlannerConfig::default());
+    let gbs = GlobalBatchConfig {
+        tokens_per_batch: 8192,
+        max_seq_len: 1024,
+    };
+    // Engine traces on: the sim timeline carries per-op spans, not just
+    // iteration extents. The serial oracle runs the same config.
+    let run = RunConfig {
+        max_iterations: Some(iters),
+        record_trace: true,
+        ..Default::default()
+    };
+    let serial = run_training(&planner, dataset, gbs, run);
+
+    let base = |codec: PlanCodec, placement: StorePlacement| ClusterConfig {
+        planner_hosts: 2,
+        workers_per_host: 1,
+        executor_hosts: hosts,
+        plan_ahead: 4,
+        codec,
+        placement,
+        ..Default::default()
+    };
+    let mut cells: Vec<(String, ClusterConfig)> = Vec::new();
+    for placement in [StorePlacement::Single, StorePlacement::Sharded] {
+        let pl = match placement {
+            StorePlacement::Single => "single",
+            StorePlacement::Sharded => "sharded",
+        };
+        for codec in PlanCodec::ALL {
+            cells.push((format!("{pl}/{}", codec.label()), base(codec, placement)));
+        }
+        // The churned cell loses a store owner mid-run (host 0 itself
+        // under the sharded placement), so the export carries churn,
+        // re-placement and restore-hop spans.
+        let lost = match placement {
+            StorePlacement::Sharded => 0,
+            StorePlacement::Single => 1,
+        };
+        let mut cfg = base(PlanCodec::Binary, placement);
+        cfg.churn = ChurnScript::new().at(
+            1usize.min(iters.saturating_sub(1)),
+            ChurnEvent::ExecutorLoss { host: lost },
+        );
+        cells.push((format!("{pl}/binary+loss"), cfg));
+    }
+    // Rerun of the first cell: bit-identity across reruns, not just
+    // across configurations.
+    let rerun = cells[0].1.clone();
+    cells.push(("rerun/single/json".to_string(), rerun));
+
+    let mut failures = Vec::new();
+    let mut pinned: Option<Trace> = None;
+    let mut export: Option<Trace> = None;
+    println!("\n  trace arm — {hosts} executor hosts, {iters} iteration(s), cap {TRACE_CAP} spans");
+    println!(
+        "  {:>20} | {:>7} {:>10} | {:>9} {:>9} {:>7}",
+        "cell", "spans", "sim spans", "validate", "reconcile", "sim_eq"
+    );
+    for (label, cfg) in cells {
+        let sink = TraceSink::bounded(TRACE_CAP);
+        let (report, stats) = run_training_cluster_traced(&planner, dataset, gbs, run, cfg, &sink);
+        if let Err(d) = serial.behavior_eq(&report) {
+            failures.push(format!("trace arm {label}: diverged from serial: {d}"));
+        }
+        let mut trace = sink.finish();
+        trace.meta = stats.trace_meta(&format!("fig09 trace arm {label}"));
+        let validated = trace.validate();
+        let reconciled = trace.reconcile();
+        let pinned_eq = match &pinned {
+            Some(first) => sim_eq(first, &trace),
+            None => Ok(()),
+        };
+        println!(
+            "  {label:>20} | {:>7} {:>10} | {:>9} {:>9} {:>7}",
+            trace.spans.len(),
+            trace.counters.sim_spans,
+            if validated.is_ok() { "ok" } else { "FAIL" },
+            if reconciled.is_ok() { "ok" } else { "FAIL" },
+            if pinned_eq.is_ok() { "ok" } else { "FAIL" },
+        );
+        if let Err(e) = validated {
+            failures.push(format!("trace arm {label}: validation failed: {e}"));
+        }
+        if let Err(e) = reconciled {
+            failures.push(format!("trace arm {label}: reconciliation failed: {e}"));
+        }
+        if let Err(e) = pinned_eq {
+            failures.push(format!(
+                "trace arm {label}: Sim spans diverged from the pinned cell: {e}"
+            ));
+        }
+        if pinned.is_none() {
+            pinned = Some(trace.clone());
+        }
+        if label == "sharded/binary+loss" {
+            export = Some(trace);
+        }
+    }
+    (failures, export)
+}
+
 fn main() {
     let opts = BenchOpts::default();
     let dataset = Dataset::flanv2(opts.seed, opts.dataset_samples_at_least(6000));
@@ -517,6 +749,19 @@ fn main() {
                 c.stats.max_link_bytes as f64 / 1e3,
                 fetched as f64 / 1e3,
             );
+        }
+    }
+
+    let (trace_failures, trace_export) = run_trace_arm(&dataset, &opts);
+    if let Some(trace) = &trace_export {
+        write_json("TRACE_cluster", trace);
+        let chrome = to_chrome_trace(trace);
+        let _ = std::fs::create_dir_all("results");
+        match std::fs::write("results/TRACE_cluster_chrome.json", &chrome) {
+            Ok(()) => println!(
+                "  -> results/TRACE_cluster_chrome.json (load in Perfetto or chrome://tracing)"
+            ),
+            Err(e) => eprintln!("warning: could not write chrome trace: {e}"),
         }
     }
 
@@ -727,27 +972,7 @@ fn main() {
                             (
                                 "cells".to_string(),
                                 serde_json::Value::Array(
-                                    p.cells
-                                        .iter()
-                                        .map(|c| {
-                                            let mut v = match serde_json::to_value(&c.stats) {
-                                                serde_json::Value::Object(m) => m,
-                                                _ => unreachable!("reports are objects"),
-                                            };
-                                            v.push((
-                                                "churned".to_string(),
-                                                serde_json::json!(c.churned),
-                                            ));
-                                            v.push((
-                                                "report_divergence".to_string(),
-                                                serde_json::json!(c
-                                                    .divergence
-                                                    .clone()
-                                                    .unwrap_or_default()),
-                                            ));
-                                            serde_json::Value::Object(v)
-                                        })
-                                        .collect(),
+                                    p.cells.iter().map(datacenter_cell_json).collect(),
                                 ),
                             ),
                         ])
@@ -760,8 +985,17 @@ fn main() {
     write_json("fig09_cluster", &out);
 
     // Hard checks: the golden invariant (churned arms included), the
-    // codec acceptance bar, and bounded recovery cost.
+    // codec acceptance bar, bounded recovery cost, and the trace arm's
+    // determinism + reconciliation contract.
     let mut failed = false;
+    for f in &trace_failures {
+        eprintln!("error: {f}");
+        failed = true;
+    }
+    if trace_export.is_none() {
+        eprintln!("error: trace arm produced no export cell");
+        failed = true;
+    }
     for o in &outcomes {
         for a in &o.arms {
             if let Some(d) = &a.divergence {

@@ -21,7 +21,10 @@
 //! engines straight over the wire bytes) and `fig09_cluster`'s
 //! topology × codec matrix with its flat decode/bytes gates, so
 //! plan-serialization bit-rot in any codec fails CI; smoke runs never
-//! touch the root artifacts.
+//! touch the root artifacts. After the figures, the sweep round-trips
+//! `fig09_cluster`'s exported span trace through `trace_report`
+//! (parse → validate → reconcile → critical path), so a trace that
+//! stops reconciling with the counters also fails the sweep.
 
 use std::process::Command;
 
@@ -86,6 +89,28 @@ fn main() {
                 eprintln!("could not launch {name}: {e}");
                 failures.push(*name);
             }
+        }
+    }
+    // Trace round-trip: fig09_cluster exported its trace arm to
+    // results/TRACE_cluster.json; `trace_report` re-parses it, replays
+    // validation + counter reconciliation on the file (not the
+    // in-memory copy), and recomputes the critical path from the spans
+    // — exiting nonzero on malformed JSON, a reconciliation failure, or
+    // a critical path that disagrees with the run's exposed-planning
+    // accounting.
+    println!("\n================ trace_report ================\n");
+    match Command::new(dir.join("trace_report"))
+        .arg("results/TRACE_cluster.json")
+        .status()
+    {
+        Ok(s) if s.success() => {}
+        Ok(s) => {
+            eprintln!("trace_report exited with {s}");
+            failures.push("trace_report");
+        }
+        Err(e) => {
+            eprintln!("could not launch trace_report: {e}");
+            failures.push("trace_report");
         }
     }
     println!("\n================ summary ================");

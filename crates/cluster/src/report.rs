@@ -226,4 +226,30 @@ impl ClusterReport {
     pub fn hidden_us(&self) -> f64 {
         (self.total_planning_us + self.total_wire_us - self.exposed_us).max(0.0)
     }
+
+    /// The counter ledger a trace of this run must reconcile against —
+    /// see `dynapipe_trace::Trace::reconcile` for the exact checks
+    /// (byte sums, span counts, bitwise exposed-µs ledgers).
+    pub fn trace_meta(&self, label: &str) -> dynapipe_trace::TraceMeta {
+        dynapipe_trace::TraceMeta {
+            label: label.to_string(),
+            topology: self.topology.clone(),
+            codec: self.codec.clone(),
+            placement: self.placement.clone(),
+            iterations: self.iterations as u64,
+            exec_sim_us: self.exec_sim_us,
+            exposed_us: self.exposed_us,
+            host_exposed_us: self.executor_hosts.iter().map(|h| h.exposed_us).collect(),
+            wall_us: self.cluster_wall_us,
+            bytes_pushed: self.planner_hosts.iter().map(|h| h.bytes_pushed).sum(),
+            bytes_fetched: self.executor_hosts.iter().map(|h| h.bytes_fetched).sum(),
+            flat_wire_bytes: self.flat_wire_bytes,
+            refetch_bytes: self.churn.refetch_bytes,
+            store_pushes: self.store.pushes,
+            store_takes: self.store.takes,
+            store_discarded: self.store.discarded,
+            tickets_reissued: self.churn.tickets_reissued,
+            churn_applied: self.churn.events_applied as u64,
+        }
+    }
 }

@@ -64,10 +64,12 @@ use crate::topology::ClusterConfig;
 use dynapipe_core::driver::{record_iteration, IterationPlanner, RunConfig, RunReport};
 use dynapipe_core::planner::{IterationPlan, PlanError};
 use dynapipe_core::runtime::{
-    decode_for_execution, execute_lowered, plan_lower_push, DuplicatePush, PlanAheadQueue,
-    ReplicaParallelism, ReplicaPrograms, TicketGuard, WaitOutcome,
+    decode_for_execution, execute_lowered, plan_lower_push_traced, record_sim_iteration,
+    CompleteOutcome, DuplicatePush, PlanAheadQueue, ReplicaParallelism, ReplicaPrograms,
+    TicketGuard, TicketTraceCtx, WaitOutcome,
 };
 use dynapipe_core::store::InstructionStore;
+use dynapipe_trace::{Span, SpanKind, TraceSink};
 use dynapipe_batcher::PaddingStats;
 use dynapipe_data::{BatchStream, Dataset, GlobalBatchConfig};
 use dynapipe_sim::Link;
@@ -156,6 +158,23 @@ pub fn run_training_cluster(
     gbs: GlobalBatchConfig,
     run: RunConfig,
     cluster: ClusterConfig,
+) -> (RunReport, ClusterReport) {
+    run_training_cluster_traced(planner, dataset, gbs, run, cluster, &TraceSink::disabled())
+}
+
+/// [`run_training_cluster`] with span recording into `sink`: ticket
+/// lifecycle, store traffic and churn actions as `Host`-domain spans,
+/// per-blob link transfers (push / fetch / restore, with the FIFO
+/// queue-wait split out), per-host exposure, and the executed
+/// iterations as `Sim`-domain spans on the ideal simulated timeline.
+/// With a disabled sink this *is* `run_training_cluster`.
+pub fn run_training_cluster_traced(
+    planner: &dyn IterationPlanner,
+    dataset: &Dataset,
+    gbs: GlobalBatchConfig,
+    run: RunConfig,
+    cluster: ClusterConfig,
+    sink: &TraceSink,
 ) -> (RunReport, ClusterReport) {
     let cm = planner.cost_model();
     let cluster = cluster.normalized(cm.parallel.dp);
@@ -264,9 +283,23 @@ pub fn run_training_cluster(
                     while let Some(ticket) = queue.claim(stream, w) {
                         // A crash takes effect at the claim boundary:
                         // the dead host's worker hands the ticket
-                        // straight back for the survivors.
+                        // straight back for the survivors. The abandon
+                        // bumps the queue's `reissued` counter, so it
+                        // records a re-issue span like the crash sweep
+                        // (lane = the dead host).
                         if !membership.is_alive(host) {
                             queue.abandon(ticket.index, w);
+                            if sink.is_enabled() {
+                                let t = sink.now_us();
+                                sink.record(Span {
+                                    kind: SpanKind::TicketReissue,
+                                    iteration: ticket.index as i64,
+                                    lane: host as i64,
+                                    start_us: t,
+                                    end_us: t,
+                                    ..Span::default()
+                                });
+                            }
                             return;
                         }
                         // A scripted straggle delays this host's next
@@ -276,19 +309,42 @@ pub fn run_training_cluster(
                         if let Some(delay) = membership.take_straggle(host) {
                             std::thread::sleep(delay);
                         }
+                        // The claim is recorded only once the holder
+                        // commits to planning (a dead host's claim is
+                        // abandoned above, not a lifecycle event).
+                        if sink.is_enabled() {
+                            let t = sink.now_us();
+                            sink.record(Span {
+                                kind: SpanKind::TicketClaim,
+                                iteration: ticket.index as i64,
+                                lane: w as i64,
+                                host: cluster.planner_global(host) as i64,
+                                start_us: t,
+                                end_us: t,
+                                generation: ticket.generation,
+                                ..Span::default()
+                            });
+                        }
                         let guard = TicketGuard::new(queue, Some(store));
                         // Shared with the core runtime's store-backed
                         // worker: plan, lower owned, encode, push. Under
                         // churn an iteration may race two byte-identical
                         // blobs (straggler vs re-issue): whichever lands
                         // second is discarded at the store door.
-                        let push = plan_lower_push(
+                        let push = plan_lower_push_traced(
                             planner,
                             store,
                             cluster.codec,
                             ticket.index,
                             &ticket.batch,
                             DuplicatePush::Discard,
+                            &TicketTraceCtx {
+                                sink,
+                                worker: w as i64,
+                                host: cluster.planner_global(host) as i64,
+                                shard: (ticket.index % cluster.num_shards()) as i64,
+                                generation: ticket.generation,
+                            },
                         );
                         if push.discarded {
                             ledger
@@ -296,7 +352,7 @@ pub fn run_training_cluster(
                                 .unwrap_or_else(|e| e.into_inner())
                                 .duplicate_blobs_discarded += 1;
                         }
-                        queue.complete(
+                        let outcome = queue.complete(
                             ticket.index,
                             ticket.generation,
                             ClusterPlanned {
@@ -309,6 +365,23 @@ pub fn run_training_cluster(
                             },
                         );
                         guard.disarm();
+                        if sink.is_enabled() {
+                            let t = sink.now_us();
+                            sink.record(Span {
+                                kind: SpanKind::TicketComplete,
+                                iteration: ticket.index as i64,
+                                lane: w as i64,
+                                host: cluster.planner_global(host) as i64,
+                                start_us: t,
+                                end_us: t,
+                                // 1 when the queue accepted this
+                                // completion; 0 when it lost the churn
+                                // race to a re-issued generation.
+                                bytes: (outcome == CompleteOutcome::Accepted) as u64,
+                                generation: ticket.generation,
+                                ..Span::default()
+                            });
+                        }
                         if !membership.is_alive(host) {
                             return; // crashed mid-plan: stop claiming
                         }
@@ -340,6 +413,37 @@ pub fn run_training_cluster(
             let cluster = &cluster;
             let dp = cm.parallel.dp.max(1);
             scope.spawn(move || {
+                // Instant Host-domain markers: churn actions carry the
+                // event class in `generation` (0 crash / 1 join /
+                // 2 straggle / 3 executor loss) and the affected host in
+                // `lane`; re-issues count against `tickets_reissued`.
+                let churn_span = |class: u64, affected: i64, it: usize| {
+                    if sink.is_enabled() {
+                        let t = sink.now_us();
+                        sink.record(Span {
+                            kind: SpanKind::ChurnAction,
+                            iteration: it as i64,
+                            lane: affected,
+                            start_us: t,
+                            end_us: t,
+                            generation: class,
+                            ..Span::default()
+                        });
+                    }
+                };
+                let reissue_span = |iteration: i64, lane: i64| {
+                    if sink.is_enabled() {
+                        let t = sink.now_us();
+                        sink.record(Span {
+                            kind: SpanKind::TicketReissue,
+                            iteration,
+                            lane,
+                            start_us: t,
+                            end_us: t,
+                            ..Span::default()
+                        });
+                    }
+                };
                 let mut executor_alive = vec![true; cluster.executor_hosts];
                 let mut replica_host: Vec<usize> =
                     (0..dp).map(|r| cluster.executor_host_of(r)).collect();
@@ -356,17 +460,26 @@ pub fn run_training_cluster(
                                 if membership.crash(*host) {
                                     led.events_applied += 1;
                                     led.planner_crashes += 1;
+                                    churn_span(0, *host as i64, it);
                                     // Everything the dead host's workers
                                     // held goes back to the survivors.
-                                    queue.reissue_claimed_by(|w| worker_host[w] == *host);
+                                    let n =
+                                        queue.reissue_claimed_by(|w| worker_host[w] == *host);
+                                    for _ in 0..n {
+                                        // Claimed-but-unplanned tickets
+                                        // are unknown here: -1 iteration,
+                                        // lane = the dead host.
+                                        reissue_span(-1, *host as i64);
+                                    }
                                 } else {
                                     led.events_ignored += 1;
                                 }
                             }
                             ChurnEvent::PlannerJoin { .. } => {
-                                if membership.activate_next().is_some() {
+                                if let Some(joined) = membership.activate_next() {
                                     led.events_applied += 1;
                                     led.planner_joins += 1;
+                                    churn_span(1, joined as i64, it);
                                 } else {
                                     led.events_ignored += 1;
                                 }
@@ -377,6 +490,7 @@ pub fn run_training_cluster(
                                 {
                                     led.events_applied += 1;
                                     led.straggles += 1;
+                                    churn_span(2, *host as i64, it);
                                 } else {
                                     led.events_ignored += 1;
                                 }
@@ -405,6 +519,7 @@ pub fn run_training_cluster(
                                     executor_alive[*host] = false;
                                     led.events_applied += 1;
                                     led.executor_losses += 1;
+                                    churn_span(3, *host as i64, it);
                                     // Re-place the lost host's replicas
                                     // round-robin onto the survivors;
                                     // their plans re-distribute from the
@@ -482,7 +597,9 @@ pub fn run_training_cluster(
                                 let min_age = cluster
                                     .reissue_deadline
                                     .expect("Deadline implies a deadline was set");
-                                queue.reissue(it, min_age);
+                                if queue.reissue(it, min_age) {
+                                    reissue_span(it as i64, -1);
+                                }
                             }
                             WaitOutcome::Planned(p) => break p,
                         }
@@ -490,8 +607,24 @@ pub fn run_training_cluster(
                     // Time the *decode* alone: the wait-for-arrival and
                     // the store take model the fetch, which the timeline
                     // already charges as downlink wire time.
+                    let s_take = sink.now_us();
                     let taken = store.take_blocking(it, STORE_WAIT);
                     queue.advance(it); // blob out of the store: slot free
+                    let taken_at = sink.now_us();
+                    if sink.is_enabled() {
+                        if let Ok(blob) = &taken {
+                            sink.record(Span {
+                                kind: SpanKind::StoreTake,
+                                iteration: it as i64,
+                                lane: shard_map.shard_of(it) as i64,
+                                host: cluster.executor_global(shard_host) as i64,
+                                start_us: s_take,
+                                end_us: taken_at,
+                                bytes: blob.len() as u64,
+                                ..Span::default()
+                            });
+                        }
+                    }
                     // lint:allow(wall-clock): decode timing for ExecutorHostStats.decode_us, a stats field only
                     let t_decode = Instant::now();
                     let decoded = taken.map_err(|e| format!("take: {e}")).and_then(|blob| {
@@ -499,6 +632,17 @@ pub fn run_training_cluster(
                             .map_err(|e| format!("decode: {e}"))
                     });
                     let decode_us = t_decode.elapsed().as_secs_f64() * 1e6;
+                    if sink.is_enabled() && decoded.is_ok() {
+                        sink.record(Span {
+                            kind: SpanKind::Decode,
+                            iteration: it as i64,
+                            lane: shard_map.shard_of(it) as i64,
+                            host: cluster.executor_global(shard_host) as i64,
+                            start_us: taken_at,
+                            end_us: sink.now_us(),
+                            ..Span::default()
+                        });
+                    }
                     let (iteration, outcome) = match decoded {
                         Ok(s) => s,
                         Err(e) => {
@@ -528,6 +672,9 @@ pub fn run_training_cluster(
         // The executor: strictly in order on the caller thread, folding
         // the per-host timelines as it goes.
         let mut vclock = 0.0f64;
+        // Sim-domain clock: the ideal back-to-back timeline the executed
+        // iterations would occupy with every plan instantly available.
+        let mut sim_clock = 0.0f64;
         let mut refetched_blobs = 0u64;
         let mut refetched_bytes = 0u64;
         for it in 0..cap {
@@ -587,8 +734,26 @@ pub fn run_training_cluster(
                         .connect(cluster.planner_global(p), cluster.executor_global(shard_host))
                 });
             let up_before = up.wire_us();
+            let up_busy = up.busy_until_us();
             let at_store = up.transmit(meta.pushed_at_us, bytes);
             let push_wire = up.wire_us() - up_before;
+            if sink.is_enabled() {
+                sink.record(Span {
+                    kind: SpanKind::LinkPush,
+                    iteration: it as i64,
+                    lane: meta.worker as i64,
+                    host: cluster.planner_global(p) as i64,
+                    start_us: meta.pushed_at_us,
+                    end_us: at_store,
+                    // FIFO queueing behind the worker's earlier pushes,
+                    // split out of the interval.
+                    wait_us: (up_busy - meta.pushed_at_us).max(0.0),
+                    bytes,
+                    src: cluster.planner_global(p) as i64,
+                    dst: cluster.executor_global(shard_host) as i64,
+                    ..Span::default()
+                });
+            }
             let ph = &mut out.planner_hosts[p];
             ph.plans_produced += 1;
             ph.plan_us += meta.plan_us;
@@ -612,7 +777,23 @@ pub fn run_training_cluster(
                     .entry((peer, shard_host))
                     .or_insert_with(|| cluster.fabric.connect(peer, shard_host));
                 let before = link.wire_us();
+                let restore_busy = link.busy_until_us();
                 let restored = link.transmit(at_store, bytes);
+                if sink.is_enabled() {
+                    sink.record(Span {
+                        kind: SpanKind::LinkRestore,
+                        iteration: it as i64,
+                        lane: shard as i64,
+                        host: cluster.executor_global(shard_host) as i64,
+                        start_us: at_store,
+                        end_us: restored,
+                        wait_us: (restore_busy - at_store).max(0.0),
+                        bytes,
+                        src: cluster.executor_global(peer) as i64,
+                        dst: cluster.executor_global(shard_host) as i64,
+                        ..Span::default()
+                    });
+                }
                 let sh = &mut out.shards[shard];
                 sh.refetched_blobs += 1;
                 sh.refetch_bytes += bytes;
@@ -650,22 +831,58 @@ pub fn run_training_cluster(
                     .entry((shard_host, h))
                     .or_insert_with(|| cluster.fabric.connect(shard_host, h));
                 let down_before = link.wire_us();
+                let down_busy = link.busy_until_us();
                 let arrival = link.transmit(at_shard, bytes);
                 let fetch_wire = link.wire_us() - down_before;
                 let avail = arrival + decode_us;
                 let eh = &mut out.executor_hosts[h];
                 // The wire-byte rule (see report.rs): only copies that
                 // cross hosts count — the shard owner's replicas read
-                // host memory.
+                // host memory. The trace obeys the same rule: a
+                // LinkFetch span exists iff the copy crossed hosts, so
+                // Σ span bytes reconciles against `bytes_fetched`.
                 if h != shard_host {
                     eh.bytes_fetched += bytes;
                     out.shards[shard].bytes_served += bytes;
                     remote_copies += 1;
+                    if sink.is_enabled() {
+                        sink.record(Span {
+                            kind: SpanKind::LinkFetch,
+                            iteration: it as i64,
+                            lane: h as i64,
+                            host: cluster.executor_global(h) as i64,
+                            start_us: at_shard,
+                            end_us: arrival,
+                            wait_us: (down_busy - at_shard).max(0.0),
+                            bytes,
+                            src: cluster.executor_global(shard_host) as i64,
+                            dst: cluster.executor_global(h) as i64,
+                            ..Span::default()
+                        });
+                    }
                 }
                 eh.fetch_wire_us += fetch_wire;
                 out.shards[shard].fetch_wire_us += fetch_wire;
                 eh.decode_us += decode_us;
-                eh.exposed_us += (avail - vclock).max(0.0);
+                // The span carries the exact ledger term in `wait_us`
+                // (start/end have float residue; the counter does not),
+                // and zero terms are skipped — adding +0.0 to a
+                // non-negative accumulator cannot change its bits, so
+                // the per-host ledger still reconciles bit-exactly.
+                let wait = (avail - vclock).max(0.0);
+                eh.exposed_us += wait;
+                if sink.is_enabled() && wait > 0.0 {
+                    sink.record(Span {
+                        kind: SpanKind::ExposedWait,
+                        iteration: it as i64,
+                        lane: h as i64,
+                        host: cluster.executor_global(h) as i64,
+                        start_us: vclock,
+                        end_us: avail,
+                        wait_us: wait,
+                        ..Span::default()
+                    });
+                }
                 eh.busy_us += span;
                 let start = vclock.max(avail);
                 sync_end = sync_end.max(start + span);
@@ -673,7 +890,19 @@ pub fn run_training_cluster(
             let end = sync_end + plan.dp_sync_time;
             // How much later the sync finished than it would have with
             // every plan instantly available.
-            out.exposed_us += (end - vclock - exec.measured_time).max(0.0);
+            let exposed = (end - vclock - exec.measured_time).max(0.0);
+            out.exposed_us += exposed;
+            if sink.is_enabled() && exposed > 0.0 {
+                sink.record(Span {
+                    kind: SpanKind::ExposedPlanning,
+                    iteration: it as i64,
+                    start_us: vclock,
+                    end_us: vclock + exposed,
+                    wait_us: exposed,
+                    ..Span::default()
+                });
+            }
+            record_sim_iteration(sink, it, &exec, &mut sim_clock);
             vclock = end;
 
             out.exec_sim_us += exec.measured_time;
@@ -714,8 +943,21 @@ pub fn run_training_cluster(
         drop(rx);
     });
 
-    // Workers joined: sweep speculative blobs past a failure.
-    store.clear_remaining();
+    // Workers joined: sweep speculative blobs past a failure. Each
+    // swept blob is a discard, so the trace's StoreDiscard count keeps
+    // matching the store's `discarded` counter.
+    let swept = store.clear_remaining();
+    if sink.is_enabled() {
+        let t = sink.now_us();
+        for _ in 0..swept {
+            sink.record(Span {
+                kind: SpanKind::StoreDiscard,
+                start_us: t,
+                end_us: t,
+                ..Span::default()
+            });
+        }
+    }
     out.store = store.stats();
 
     // Fold the queue's churn counters into the ledger.

@@ -14,8 +14,8 @@
 //! all counted in [`dynapipe_cluster::ChurnStats`] and never behavioral.
 
 use dynapipe_cluster::{
-    placed_host, run_training_cluster, ChurnEvent, ChurnScript, ClusterConfig, ClusterReport,
-    StorePlacement,
+    placed_host, run_training_cluster_traced, ChurnEvent, ChurnScript, ClusterConfig,
+    ClusterReport, StorePlacement,
 };
 use dynapipe_core::{
     run_training, DynaPipePlanner, IterationPlanner, PlanCodec, PlannerConfig, RunConfig,
@@ -24,8 +24,13 @@ use dynapipe_core::{
 use dynapipe_cost::{CostModel, ProfileOptions};
 use dynapipe_data::{Dataset, GlobalBatchConfig, Sample};
 use dynapipe_model::{HardwareModel, ModelConfig, ParallelConfig};
+use dynapipe_trace::{sim_eq, TraceSink};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Span-ring capacity: generous enough that no churn scenario drops a
+/// span (a drop would fail `reconcile` with a misleading message).
+const TRACE_CAP: usize = 1 << 20;
 
 fn cost_model(pp: usize, dp: usize) -> Arc<CostModel> {
     Arc::new(CostModel::build(
@@ -62,7 +67,11 @@ fn assert_store_reconciles(stats: &ClusterReport, label: &str) {
 }
 
 /// Run `churned` against its own undisturbed twin and the serial
-/// driver; behavior must be pinned three ways.
+/// driver; behavior must be pinned three ways. Both runs record span
+/// traces, which must validate, reconcile against their own counters,
+/// and — the tracing contract under churn — carry **bit-identical
+/// Sim-domain timelines**: recovery may add Host-domain spans
+/// (re-issues, restores, churn actions), never move a simulated bit.
 fn assert_churn_equivalent(
     planner: &dyn IterationPlanner,
     dataset: &Dataset,
@@ -77,8 +86,9 @@ fn assert_churn_equivalent(
         reissue_deadline: None,
         ..churned.clone()
     };
+    let clean_sink = TraceSink::bounded(TRACE_CAP);
     let (clean_report, clean_stats) =
-        run_training_cluster(planner, dataset, gbs, run, undisturbed);
+        run_training_cluster_traced(planner, dataset, gbs, run, undisturbed, &clean_sink);
     serial
         .behavior_eq(&clean_report)
         .unwrap_or_else(|e| panic!("{label}: undisturbed run diverged from serial: {e}"));
@@ -86,8 +96,17 @@ fn assert_churn_equivalent(
         clean_stats.churn.events_applied, 0,
         "{label}: undisturbed run must apply no churn"
     );
+    let mut clean_trace = clean_sink.finish();
+    clean_trace.meta = clean_stats.trace_meta(&format!("{label}/undisturbed"));
+    clean_trace
+        .validate()
+        .unwrap_or_else(|e| panic!("{label}: undisturbed trace validation: {e}"));
+    clean_trace
+        .reconcile()
+        .unwrap_or_else(|e| panic!("{label}: undisturbed trace reconciliation: {e}"));
 
-    let (report, stats) = run_training_cluster(planner, dataset, gbs, run, churned);
+    let sink = TraceSink::bounded(TRACE_CAP);
+    let (report, stats) = run_training_cluster_traced(planner, dataset, gbs, run, churned, &sink);
     serial
         .behavior_eq(&report)
         .unwrap_or_else(|e| panic!("{label}: churned run diverged from serial: {e}"));
@@ -95,6 +114,16 @@ fn assert_churn_equivalent(
         .behavior_eq(&report)
         .unwrap_or_else(|e| panic!("{label}: churned run diverged from undisturbed: {e}"));
     assert_store_reconciles(&stats, label);
+    let mut trace = sink.finish();
+    trace.meta = stats.trace_meta(&format!("{label}/churned"));
+    trace
+        .validate()
+        .unwrap_or_else(|e| panic!("{label}: churned trace validation: {e}"));
+    trace
+        .reconcile()
+        .unwrap_or_else(|e| panic!("{label}: churned trace reconciliation: {e}"));
+    sim_eq(&clean_trace, &trace)
+        .unwrap_or_else(|e| panic!("{label}: churn moved the Sim timeline: {e}"));
     stats
 }
 

@@ -13,7 +13,10 @@
 //! on the flat codec `flat_wire_bytes` must reconcile exactly with
 //! `Σ bytes_fetched`.
 
-use dynapipe_cluster::{run_training_cluster, ClusterConfig, ClusterReport, StorePlacement};
+use dynapipe_cluster::{
+    run_training_cluster, run_training_cluster_traced, ClusterConfig, ClusterReport,
+    StorePlacement,
+};
 use dynapipe_core::{
     run_training, BaselineKind, BaselinePlanner, DynaPipePlanner, IterationPlanner, PlanCodec,
     PlannerConfig, RunConfig, RunReport,
@@ -22,7 +25,13 @@ use dynapipe_cost::{CostModel, ProfileOptions};
 use dynapipe_data::{Dataset, GlobalBatchConfig, Sample};
 use dynapipe_model::{HardwareModel, ModelConfig, ParallelConfig};
 use dynapipe_sim::{Fabric, JitterConfig, LinkModel};
+use dynapipe_trace::{sim_eq, Trace, TraceSink};
 use std::sync::Arc;
+
+/// Large enough that no matrix cell ever drops a span — a dropped span
+/// would (correctly) fail `reconcile`, but the failure should then mean
+/// a real accounting bug, not an undersized ring.
+const TRACE_CAP: usize = 1 << 20;
 
 fn cost_model(pp: usize, dp: usize) -> Arc<CostModel> {
     Arc::new(CostModel::build(
@@ -107,6 +116,11 @@ fn assert_cluster_matrix(
     serial: &RunReport,
 ) -> Vec<ClusterReport> {
     let mut reports = Vec::new();
+    // The Sim-domain span timeline is derived purely from the
+    // behavior-pinned execution results, so it must be bit-identical
+    // across every topology × codec × placement cell: pin every cell's
+    // trace against the first.
+    let mut pinned: Option<Trace> = None;
     for cluster in topologies() {
         let label = format!(
             "{}/{}/{}",
@@ -115,10 +129,25 @@ fn assert_cluster_matrix(
             cluster.placement.label()
         );
         let plan_ahead = cluster.plan_ahead;
-        let (report, stats) = run_training_cluster(planner, dataset, gbs, run, cluster);
+        let sink = TraceSink::bounded(TRACE_CAP);
+        let (report, stats) =
+            run_training_cluster_traced(planner, dataset, gbs, run, cluster, &sink);
         serial
             .behavior_eq(&report)
             .unwrap_or_else(|e| panic!("{label} diverged from serial: {e}"));
+        let mut trace = sink.finish();
+        trace.meta = stats.trace_meta(&label);
+        trace
+            .validate()
+            .unwrap_or_else(|e| panic!("{label}: trace validation: {e}"));
+        trace
+            .reconcile()
+            .unwrap_or_else(|e| panic!("{label}: trace reconciliation: {e}"));
+        match &pinned {
+            Some(first) => sim_eq(first, &trace)
+                .unwrap_or_else(|e| panic!("{label}: Sim timeline diverged from first cell: {e}")),
+            None => pinned = Some(trace),
+        }
         // Store hygiene in every topology: no orphaned blobs, occupancy
         // bounded by the window.
         assert_eq!(stats.store.occupancy, 0, "{label}: orphaned blobs");

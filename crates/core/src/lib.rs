@@ -54,9 +54,10 @@ pub use planner::{
     ScheduleKind,
 };
 pub use runtime::{
-    decode_for_execution, run_training_pipelined, CompiledIteration, CompleteOutcome,
-    DuplicatePush, IterationExecution, PlanAheadQueue, PlanDistribution, QueueChurn,
-    ReplicaParallelism, ReplicaPrograms, RuntimeConfig, RuntimeStats, Ticket, TicketGuard,
+    decode_for_execution, plan_lower_push_traced, record_sim_iteration, run_training_pipelined,
+    run_training_pipelined_traced, CompiledIteration, CompleteOutcome, DuplicatePush,
+    IterationExecution, PlanAheadQueue, PlanDistribution, QueueChurn, ReplicaParallelism,
+    ReplicaPrograms, RuntimeConfig, RuntimeStats, Ticket, TicketGuard, TicketTraceCtx,
     WaitOutcome,
 };
 pub use store::{

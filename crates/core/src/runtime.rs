@@ -122,7 +122,8 @@ use dynapipe_batcher::PaddingStats;
 use dynapipe_cost::CostModel;
 use dynapipe_data::{BatchStream, Dataset, GlobalBatchConfig, Sample};
 use dynapipe_model::{Bytes, Micros};
-use dynapipe_sim::{DeviceProgram, Engine, EngineConfig, JitterConfig, SimResult};
+use dynapipe_sim::{DeviceProgram, Engine, EngineConfig, JitterConfig, SimResult, TraceEvent, TraceKind};
+use dynapipe_trace::{ClockDomain, Span, SpanKind, TraceSink};
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -298,11 +299,83 @@ pub fn plan_lower_push(
     batch: &[Sample],
     on_duplicate: DuplicatePush,
 ) -> StorePush {
+    plan_lower_push_traced(
+        planner,
+        store,
+        codec,
+        index,
+        batch,
+        on_duplicate,
+        &TicketTraceCtx::untraced(),
+    )
+}
+
+/// Trace attribution for one planner-worker ticket: where
+/// [`plan_lower_push_traced`] records its phase spans. The untraced
+/// callers go through [`plan_lower_push`], which passes a disabled sink.
+pub struct TicketTraceCtx<'a> {
+    /// Recorder (may be disabled).
+    pub sink: &'a TraceSink,
+    /// Worker lane the spans are attributed to.
+    pub worker: i64,
+    /// Global host id for export grouping.
+    pub host: i64,
+    /// Store shard the push lands on (-1 when single / unknown).
+    pub shard: i64,
+    /// Ticket generation (re-issue count).
+    pub generation: u64,
+}
+
+/// The shared disabled sink behind [`TicketTraceCtx::untraced`] — a
+/// `TraceSink` is only `Default`-cheap, not `const`, so keep one.
+static UNTRACED: std::sync::OnceLock<TraceSink> = std::sync::OnceLock::new();
+
+impl TicketTraceCtx<'_> {
+    /// A context that records nothing.
+    pub fn untraced() -> TicketTraceCtx<'static> {
+        TicketTraceCtx {
+            sink: UNTRACED.get_or_init(TraceSink::disabled),
+            worker: -1,
+            host: -1,
+            shard: -1,
+            generation: 0,
+        }
+    }
+}
+
+/// [`plan_lower_push`] with span recording: one `Host`-domain span per
+/// phase (plan / lower / encode+push), a `StorePush` marker, and a
+/// `StoreDiscard` marker when the push was dropped at the door as a
+/// re-issue duplicate.
+pub fn plan_lower_push_traced(
+    planner: &dyn IterationPlanner,
+    store: &InstructionStore,
+    codec: PlanCodec,
+    index: usize,
+    batch: &[Sample],
+    on_duplicate: DuplicatePush,
+    ctx: &TicketTraceCtx<'_>,
+) -> StorePush {
     let cm = planner.cost_model();
+    let ticket_span = |kind: SpanKind, start_us: f64, end_us: f64, bytes: u64| Span {
+        kind,
+        iteration: index as i64,
+        lane: ctx.worker,
+        host: ctx.host,
+        start_us,
+        end_us,
+        bytes,
+        generation: ctx.generation,
+        ..Span::default()
+    };
+    let s_plan = ctx.sink.now_us();
     // lint:allow(wall-clock): plan timing for RuntimeStats.planning_us, a stats field only
     let t_plan = Instant::now();
     let planned = planner.plan(batch);
     let plan_us = t_plan.elapsed().as_secs_f64() * 1e6;
+    ctx.sink
+        .record(ticket_span(SpanKind::TicketPlan, s_plan, ctx.sink.now_us(), 0));
+    let s_lower = ctx.sink.now_us();
     // lint:allow(wall-clock): lowering timing for RuntimeStats stats fields only
     let t_lower = Instant::now();
     let outcome = match planned {
@@ -318,6 +391,9 @@ pub fn plan_lower_push(
         Err(e) => StoredOutcome::Failed(e),
     };
     let lower_us = t_lower.elapsed().as_secs_f64() * 1e6;
+    ctx.sink
+        .record(ticket_span(SpanKind::TicketLower, s_lower, ctx.sink.now_us(), 0));
+    let s_ser = ctx.sink.now_us();
     // lint:allow(wall-clock): serialize timing for RuntimeStats.serialize_us, a stats field only
     let t_ser = Instant::now();
     let blob = StoredPlan {
@@ -340,6 +416,21 @@ pub fn plan_lower_push(
             outcome == crate::store::PushOutcome::DiscardedDuplicate
         }
     };
+    let e_ser = ctx.sink.now_us();
+    ctx.sink
+        .record(ticket_span(SpanKind::TicketEncode, s_ser, e_ser, blob_bytes as u64));
+    ctx.sink.record(Span {
+        lane: ctx.shard,
+        bytes: blob_bytes as u64,
+        ..ticket_span(SpanKind::StorePush, e_ser, e_ser, 0)
+    });
+    if discarded {
+        ctx.sink.record(Span {
+            lane: ctx.shard,
+            bytes: blob_bytes as u64,
+            ..ticket_span(SpanKind::StoreDiscard, e_ser, e_ser, 0)
+        });
+    }
     StorePush {
         plan_us,
         lower_us,
@@ -406,6 +497,10 @@ pub struct IterationExecution {
     /// cluster layer aggregates these per executor host; `measured_time`
     /// is their max plus the gradient sync.
     pub replica_makespans: Vec<Micros>,
+    /// Per-replica engine op traces, in replica order. Empty per replica
+    /// unless [`RunConfig::record_trace`] is set; the traced runtimes
+    /// adapt these into unified `Sim`-domain `EngineOp` spans.
+    pub replica_traces: Vec<Vec<TraceEvent>>,
 }
 
 /// Execute one lowered iteration's replicas and fold the results exactly
@@ -439,11 +534,13 @@ pub fn execute_lowered(
         allocator_stall_us: 0.0,
         host_wall_us: 0.0,
         replica_makespans: Vec::with_capacity(programs.len()),
+        replica_traces: Vec::with_capacity(programs.len()),
     };
     let mut worst_makespan: Micros = 0.0;
     let mut makespans: Vec<Micros> = Vec::with_capacity(programs.len());
     let mut fold = |result: SimResult| {
         makespans.push(result.makespan);
+        exec.replica_traces.push(result.trace);
         worst_makespan = worst_makespan.max(result.makespan);
         for (j, &p) in result.peak_memory.iter().enumerate() {
             exec.peak_memory[j] = exec.peak_memory[j].max(p);
@@ -1081,6 +1178,69 @@ enum Prefetched {
 /// returns `false` when the run must stop (planning or execution
 /// failure). Shared by both distribution modes so the fold — and thus
 /// the report — is identical by construction.
+/// Record one executed iteration's `Sim`-domain spans on the ideal
+/// simulated timeline (`sim_clock`): per-replica execution intervals,
+/// the gradient-sync tail, and (when the engines recorded op traces)
+/// each engine op offset into the iteration's window. Everything here
+/// derives from behavior-pinned simulated quantities, so the recorded
+/// spans are bit-identical across reruns, codecs, placements and churn
+/// — the [`dynapipe_trace::sim_eq`] contract. Shared verbatim by the
+/// single-host executor and the cluster fold.
+pub fn record_sim_iteration(
+    sink: &TraceSink,
+    it: usize,
+    exec: &IterationExecution,
+    sim_clock: &mut f64,
+) {
+    let t0 = *sim_clock;
+    *sim_clock += exec.measured_time;
+    if !sink.is_enabled() {
+        return;
+    }
+    let mut worst: f64 = 0.0;
+    for (r, &mk) in exec.replica_makespans.iter().enumerate() {
+        worst = worst.max(mk);
+        sink.record(Span {
+            domain: ClockDomain::Sim,
+            kind: SpanKind::IterExec,
+            iteration: it as i64,
+            lane: r as i64,
+            start_us: t0,
+            end_us: t0 + mk,
+            ..Span::default()
+        });
+        for e in &exec.replica_traces[r] {
+            sink.record(Span {
+                domain: ClockDomain::Sim,
+                kind: SpanKind::EngineOp,
+                iteration: it as i64,
+                lane: r as i64,
+                start_us: t0 + e.start,
+                end_us: t0 + e.end,
+                // EngineOp spans repurpose `generation` as the op class:
+                // 0 forward, 1 backward, 2 transfer, 3 allocator stall.
+                generation: match e.kind {
+                    TraceKind::Forward => 0,
+                    TraceKind::Backward => 1,
+                    TraceKind::Transfer => 2,
+                    TraceKind::AllocStall => 3,
+                },
+                src: e.device as i64,
+                dst: if e.peer == usize::MAX { -1 } else { e.peer as i64 },
+                ..Span::default()
+            });
+        }
+    }
+    sink.record(Span {
+        domain: ClockDomain::Sim,
+        kind: SpanKind::IterSync,
+        iteration: it as i64,
+        start_us: t0 + worst,
+        end_us: t0 + exec.measured_time,
+        ..Span::default()
+    });
+}
+
 #[allow(clippy::too_many_arguments)]
 fn fold_claimed(
     cm: &CostModel,
@@ -1091,6 +1251,8 @@ fn fold_claimed(
     report: &mut RunReport,
     stats: &mut RuntimeStats,
     vclock: &mut f64,
+    sink: &TraceSink,
+    sim_clock: &mut f64,
 ) -> bool {
     let compiled = match claimed.outcome {
         Ok(c) => c,
@@ -1118,6 +1280,20 @@ fn fold_claimed(
     // includes any take + decode the prefetcher could not hide — then
     // advances by the simulated execution.
     let exposed = (claimed.ready_us - *vclock).max(0.0);
+    if exposed > 0.0 {
+        sink.record(Span {
+            kind: SpanKind::ExposedPlanning,
+            iteration: it as i64,
+            host: 0,
+            start_us: *vclock,
+            end_us: claimed.ready_us,
+            // The exact ledger term added to `RuntimeStats::exposed_us`,
+            // so Σ span ledgers reconciles bitwise with the counter.
+            wait_us: exposed,
+            ..Span::default()
+        });
+    }
+    record_sim_iteration(sink, it, &exec, sim_clock);
     *vclock = (*vclock).max(claimed.ready_us) + exec.measured_time;
     stats.planning_us.push(claimed.plan_us + claimed.lower_us);
     stats.exec_sim_us.push(exec.measured_time);
@@ -1234,6 +1410,31 @@ impl RuntimeStats {
     pub fn serial_wall_us(&self) -> f64 {
         self.total_planning_us() + self.exec_sim_us.iter().sum::<f64>()
     }
+
+    /// The counter ledger a trace of this run must reconcile against
+    /// (see `dynapipe_trace::Trace::reconcile`). The single-host runtime
+    /// moves no wire bytes — the store-backed push is a local handoff —
+    /// so every wire field is zero by the wire-byte rule, including
+    /// `flat_wire_bytes` (zero-copy execution over a *local* blob is
+    /// not wire traffic).
+    pub fn trace_meta(&self, label: &str) -> dynapipe_trace::TraceMeta {
+        let store = self.store.clone().unwrap_or_default();
+        dynapipe_trace::TraceMeta {
+            label: label.to_string(),
+            codec: match self.distribution {
+                PlanDistribution::InProcess => String::new(),
+                PlanDistribution::StoreBacked => self.codec.label().to_string(),
+            },
+            iterations: self.exec_sim_us.len() as u64,
+            exec_sim_us: self.exec_sim_us.iter().sum::<f64>() + 0.0,
+            exposed_us: self.exposed_planning_us(),
+            wall_us: self.pipelined_wall_us,
+            store_pushes: store.pushes,
+            store_takes: store.takes,
+            store_discarded: store.discarded,
+            ..dynapipe_trace::TraceMeta::default()
+        }
+    }
 }
 
 /// Run (a prefix of) one training epoch on the pipelined plan-ahead
@@ -1250,6 +1451,22 @@ pub fn run_training_pipelined(
     gbs: GlobalBatchConfig,
     run: RunConfig,
     config: RuntimeConfig,
+) -> (RunReport, RuntimeStats) {
+    run_training_pipelined_traced(planner, dataset, gbs, run, config, &TraceSink::disabled())
+}
+
+/// [`run_training_pipelined`] with span recording into `sink`: the
+/// ticket lifecycle and store traffic as `Host`-domain spans, the
+/// executed iterations as `Sim`-domain spans on the ideal simulated
+/// timeline (see [`record_sim_iteration`]). With a disabled sink this
+/// *is* `run_training_pipelined` — the wrapper passes one.
+pub fn run_training_pipelined_traced(
+    planner: &dyn IterationPlanner,
+    dataset: &Dataset,
+    gbs: GlobalBatchConfig,
+    run: RunConfig,
+    config: RuntimeConfig,
+    sink: &TraceSink,
 ) -> (RunReport, RuntimeStats) {
     let config = config.normalized();
     let cm = planner.cost_model();
@@ -1316,20 +1533,44 @@ pub fn run_training_pipelined(
                 pool.install(|| {
                     while let Some(ticket) = queue.claim(stream, worker) {
                         let (index, batch) = (ticket.index, &ticket.batch);
+                        let ticket_span = |kind: SpanKind, start_us: f64, end_us: f64| Span {
+                            kind,
+                            iteration: index as i64,
+                            lane: worker as i64,
+                            host: 0,
+                            start_us,
+                            end_us,
+                            generation: ticket.generation,
+                            ..Span::default()
+                        };
+                        let claim_at = sink.now_us();
+                        sink.record(ticket_span(SpanKind::TicketClaim, claim_at, claim_at));
                         let guard = TicketGuard::new(queue, store);
                         // The lowering stage runs on the worker either
                         // way, so the executor receives ready-to-run
                         // programs.
                         let planned = match store {
                             None => {
+                                let s_plan = sink.now_us();
                                 // lint:allow(wall-clock): plan timing for RuntimeStats.planning_us, a stats field only
                                 let t_plan = Instant::now();
                                 let planned = planner.plan(batch);
                                 let plan_us = t_plan.elapsed().as_secs_f64() * 1e6;
+                                sink.record(ticket_span(
+                                    SpanKind::TicketPlan,
+                                    s_plan,
+                                    sink.now_us(),
+                                ));
+                                let s_lower = sink.now_us();
                                 // lint:allow(wall-clock): lowering timing for RuntimeStats stats fields only
                                 let t_lower = Instant::now();
                                 let outcome = planned.map(|p| lower_iteration(cm, p));
                                 let lower_us = t_lower.elapsed().as_secs_f64() * 1e6;
+                                sink.record(ticket_span(
+                                    SpanKind::TicketLower,
+                                    s_lower,
+                                    sink.now_us(),
+                                ));
                                 PlannedIteration {
                                     payload: PlannedPayload::InProcess(Box::new(outcome)),
                                     plan_us,
@@ -1338,13 +1579,20 @@ pub fn run_training_pipelined(
                                 }
                             }
                             Some(store) => {
-                                let push = plan_lower_push(
+                                let push = plan_lower_push_traced(
                                     planner,
                                     store,
                                     config.codec,
                                     index,
                                     batch,
                                     DuplicatePush::Fail,
+                                    &TicketTraceCtx {
+                                        sink,
+                                        worker: worker as i64,
+                                        host: 0,
+                                        shard: 0,
+                                        generation: ticket.generation,
+                                    },
                                 );
                                 PlannedIteration {
                                     payload: PlannedPayload::Stored {
@@ -1357,7 +1605,13 @@ pub fn run_training_pipelined(
                                 }
                             }
                         };
-                        queue.complete(index, ticket.generation, planned);
+                        let outcome = queue.complete(index, ticket.generation, planned);
+                        let done_at = sink.now_us();
+                        sink.record(Span {
+                            // `bytes` flags acceptance: 1 accepted, 0 stale/cancelled.
+                            bytes: (outcome == CompleteOutcome::Accepted) as u64,
+                            ..ticket_span(SpanKind::TicketComplete, done_at, done_at)
+                        });
                         guard.disarm();
                     }
                 });
@@ -1376,6 +1630,7 @@ pub fn run_training_pipelined(
         // exposed). The window slot is released only after the blob is
         // taken, so window slots still count store occupancy.
         let mut vclock = 0.0f64;
+        let mut sim_clock = 0.0f64;
         match &store {
             None => {
                 for it in 0..cap {
@@ -1412,6 +1667,8 @@ pub fn run_training_pipelined(
                         &mut report,
                         &mut stats,
                         &mut vclock,
+                        sink,
+                        &mut sim_clock,
                     ) {
                         break;
                     }
@@ -1441,14 +1698,36 @@ pub fn run_training_pipelined(
                             else {
                                 unreachable!("store-backed runs carry stored payloads")
                             };
+                            let s_take = sink.now_us();
                             // lint:allow(wall-clock): deserialize timing for RuntimeStats.deserialize_us, a stats field only
                             let t_deser = Instant::now();
                             let decoded = store
                                 .take_blocking(it, STORE_WAIT)
                                 .map_err(|e| format!("take: {e}"))
                                 .and_then(|blob| {
-                                    decode_for_execution(config.codec, blob)
-                                        .map_err(|e| format!("decode: {e}"))
+                                    let taken_at = sink.now_us();
+                                    sink.record(Span {
+                                        kind: SpanKind::StoreTake,
+                                        iteration: it as i64,
+                                        lane: 0,
+                                        host: 0,
+                                        start_us: s_take,
+                                        end_us: taken_at,
+                                        bytes: blob.len() as u64,
+                                        ..Span::default()
+                                    });
+                                    let decoded = decode_for_execution(config.codec, blob)
+                                        .map_err(|e| format!("decode: {e}"));
+                                    sink.record(Span {
+                                        kind: SpanKind::Decode,
+                                        iteration: it as i64,
+                                        lane: 0,
+                                        host: 0,
+                                        start_us: taken_at,
+                                        end_us: sink.now_us(),
+                                        ..Span::default()
+                                    });
+                                    decoded
                                 });
                             // Blob out of the store: the window slot is free.
                             queue.advance(it);
@@ -1514,6 +1793,8 @@ pub fn run_training_pipelined(
                                 &mut report,
                                 &mut stats,
                                 &mut vclock,
+                                sink,
+                                &mut sim_clock,
                             ) {
                                 break;
                             }
@@ -1535,7 +1816,20 @@ pub fn run_training_pipelined(
     // Workers are joined: discard speculative blobs past a failure so the
     // store never leaks plans (they are counted as `discarded`).
     if let Some(store) = &store {
-        store.clear_remaining();
+        let swept = store.clear_remaining();
+        let swept_at = sink.now_us();
+        for _ in 0..swept {
+            // Speculative blobs discarded at teardown, so the
+            // store-discard span count matches `StoreStats::discarded`.
+            sink.record(Span {
+                kind: SpanKind::StoreDiscard,
+                lane: 0,
+                host: 0,
+                start_us: swept_at,
+                end_us: swept_at,
+                ..Span::default()
+            });
+        }
         stats.store = Some(store.stats());
     }
     stats.host_wall_us = t0.elapsed().as_secs_f64() * 1e6;

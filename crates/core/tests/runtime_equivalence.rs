@@ -13,7 +13,7 @@
 //! why this harness fronts the store-backed runtime.
 
 use dynapipe_core::{
-    run_training, run_training_pipelined, BaselineKind, BaselinePlanner, DynaPipePlanner,
+    run_training, run_training_pipelined_traced, BaselineKind, BaselinePlanner, DynaPipePlanner,
     IterationPlanner, PlanCodec, PlanDistribution, PlannerConfig, RunConfig, RunReport,
     RuntimeConfig, RuntimeStats,
 };
@@ -21,7 +21,12 @@ use dynapipe_cost::{CostModel, ProfileOptions};
 use dynapipe_data::{Dataset, GlobalBatchConfig, Sample};
 use dynapipe_model::{HardwareModel, ModelConfig, ParallelConfig};
 use dynapipe_sim::JitterConfig;
+use dynapipe_trace::{sim_eq, TraceSink};
 use std::sync::Arc;
+
+/// Span-ring capacity for the traced matrix runs: large enough that no
+/// scenario drops a span (drops would fail `reconcile`).
+const TRACE_CAP: usize = 1 << 20;
 
 fn cost_model(pp: usize, dp: usize) -> Arc<CostModel> {
     Arc::new(CostModel::build(
@@ -54,7 +59,8 @@ fn assert_distribution_matrix(
     workers: usize,
     serial: &RunReport,
 ) -> (RuntimeStats, RuntimeStats) {
-    let (in_process, ip_stats) = run_training_pipelined(
+    let ip_sink = TraceSink::bounded(TRACE_CAP);
+    let (in_process, ip_stats) = run_training_pipelined_traced(
         planner,
         dataset,
         gbs,
@@ -65,14 +71,27 @@ fn assert_distribution_matrix(
             distribution: PlanDistribution::InProcess,
             codec: PlanCodec::default(),
         },
+        &ip_sink,
     );
     serial
         .behavior_eq(&in_process)
         .unwrap_or_else(|e| panic!("in-process vs serial (w={plan_ahead},{workers}): {e}"));
+    // The Sim-domain timeline is a pure function of the behavior-pinned
+    // execution results: every store-backed codec's trace must carry it
+    // bit-identically to the in-process run's.
+    let mut ip_trace = ip_sink.finish();
+    ip_trace.meta = ip_stats.trace_meta("in-process");
+    ip_trace
+        .validate()
+        .unwrap_or_else(|e| panic!("in-process trace validation: {e}"));
+    ip_trace
+        .reconcile()
+        .unwrap_or_else(|e| panic!("in-process trace reconciliation: {e}"));
     let mut json_stats = None;
     for codec in PlanCodec::ALL {
         let label = codec.label();
-        let (store_backed, sb_stats) = run_training_pipelined(
+        let sb_sink = TraceSink::bounded(TRACE_CAP);
+        let (store_backed, sb_stats) = run_training_pipelined_traced(
             planner,
             dataset,
             gbs,
@@ -83,6 +102,7 @@ fn assert_distribution_matrix(
                 distribution: PlanDistribution::StoreBacked,
                 codec,
             },
+            &sb_sink,
         );
         serial.behavior_eq(&store_backed).unwrap_or_else(|e| {
             panic!("store-backed/{label} vs serial (w={plan_ahead},{workers}): {e}")
@@ -108,6 +128,17 @@ fn assert_distribution_matrix(
             store.per_shard.iter().all(|s| s.occupancy == 0 && s.bytes == 0),
             "per-shard counters must reconcile to zero ({label})"
         );
+        let mut sb_trace = sb_sink.finish();
+        sb_trace.meta = sb_stats.trace_meta(&format!("store-backed/{label}"));
+        sb_trace
+            .validate()
+            .unwrap_or_else(|e| panic!("store-backed/{label} trace validation: {e}"));
+        sb_trace
+            .reconcile()
+            .unwrap_or_else(|e| panic!("store-backed/{label} trace reconciliation: {e}"));
+        sim_eq(&ip_trace, &sb_trace).unwrap_or_else(|e| {
+            panic!("store-backed/{label} Sim timeline diverged from in-process: {e}")
+        });
         if codec == PlanCodec::Json {
             json_stats = Some(sb_stats);
         }

@@ -44,7 +44,7 @@ impl LintConfig {
     pub fn workspace() -> LintConfig {
         LintConfig {
             behavior_markers: [
-                "core", "cluster", "sim", "batcher", "cost", "data", "schedule",
+                "core", "cluster", "sim", "batcher", "cost", "data", "schedule", "trace",
             ]
             .iter()
             .map(|c| format!("crates/{c}/"))
@@ -87,6 +87,7 @@ impl LintConfig {
                 "ShardCounters",
                 "ShardStats",
                 "RuntimeStats",
+                "TraceCounters",
             ]
             .iter()
             .map(|s| s.to_string())

@@ -234,6 +234,14 @@ impl Link {
     pub fn wire_us(&self) -> f64 {
         self.wire_us
     }
+
+    /// When the link drains its current FIFO backlog (µs). A transfer
+    /// issued at `start_us` waits `max(0, busy_until_us - start_us)`
+    /// before its bytes move — the queue-wait half of a per-blob link
+    /// span.
+    pub fn busy_until_us(&self) -> f64 {
+        self.busy_until_us
+    }
 }
 
 /// The host-pair cost matrix of a deployment: which [`LinkModel`] a

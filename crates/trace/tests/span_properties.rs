@@ -1,0 +1,216 @@
+//! Property tests for the span recorder: anything the [`TraceSink`]
+//! accepts validates, capacity accounting is exact, corruption of any
+//! single invariant is caught by [`Trace::validate`], and [`sim_eq`]
+//! ignores exactly the fields the bit-identity contract excludes
+//! (`seq`, `host`, every Host-domain span) and nothing else.
+
+use dynapipe_trace::{sim_eq, ClockDomain, Span, SpanKind, Trace, TraceSink};
+use proptest::prelude::*;
+
+/// Replay a generation script through a sink: for iteration `i`,
+/// `gens[i]` ticket generations, each claimed once and walked through
+/// the full phase lifecycle (with a re-issue marker between
+/// generations), on a strictly advancing synthetic clock. This is the
+/// well-formed-by-construction shape the runtimes emit.
+fn record_script(sink: &TraceSink, gens: &[u64]) -> u64 {
+    let mut offered = 0u64;
+    let mut t = 0.0f64;
+    let step = |t: &mut f64| {
+        *t += 1.0;
+        *t
+    };
+    for (it, &n) in gens.iter().enumerate() {
+        for g in 0..n {
+            if g > 0 {
+                sink.record(Span {
+                    kind: SpanKind::TicketReissue,
+                    iteration: it as i64,
+                    start_us: step(&mut t),
+                    end_us: t,
+                    ..Span::default()
+                });
+                offered += 1;
+            }
+            sink.record(Span {
+                kind: SpanKind::TicketClaim,
+                iteration: it as i64,
+                generation: g,
+                start_us: step(&mut t),
+                end_us: t,
+                ..Span::default()
+            });
+            offered += 1;
+            for kind in [
+                SpanKind::TicketPlan,
+                SpanKind::TicketLower,
+                SpanKind::TicketEncode,
+                SpanKind::TicketComplete,
+            ] {
+                let start = step(&mut t);
+                sink.record(Span {
+                    kind,
+                    iteration: it as i64,
+                    generation: g,
+                    start_us: start,
+                    end_us: step(&mut t),
+                    bytes: 64,
+                    ..Span::default()
+                });
+                offered += 1;
+            }
+        }
+        // The executed iteration on the Sim clock.
+        sink.record(Span {
+            domain: ClockDomain::Sim,
+            kind: SpanKind::IterExec,
+            iteration: it as i64,
+            lane: 0,
+            start_us: it as f64 * 10.0,
+            end_us: it as f64 * 10.0 + 7.5,
+            ..Span::default()
+        });
+        sink.record(Span {
+            domain: ClockDomain::Sim,
+            kind: SpanKind::IterSync,
+            iteration: it as i64,
+            start_us: it as f64 * 10.0 + 7.5,
+            end_us: (it + 1) as f64 * 10.0,
+            ..Span::default()
+        });
+        offered += 2;
+    }
+    offered
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Whatever the script, the recorder's output validates, and the
+    /// capacity ledger is exact: `recorded = min(offered, cap)`,
+    /// `dropped = offered - recorded`, domains partition the recording.
+    /// A ring that dropped anything refuses to reconcile — totals from
+    /// a truncated recording must never be trusted.
+    #[test]
+    fn recorder_output_always_validates(
+        gens in proptest::collection::vec(1u64..4, 1..8),
+        cap in 0usize..64,
+    ) {
+        let sink = TraceSink::bounded(cap);
+        let offered = record_script(&sink, &gens);
+        let trace = sink.finish();
+        prop_assert!(trace.validate().is_ok(), "{:?}", trace.validate());
+        let c = trace.counters;
+        prop_assert_eq!(c.spans_recorded, offered.min(cap as u64));
+        prop_assert_eq!(c.spans_dropped, offered - c.spans_recorded);
+        prop_assert_eq!(c.sim_spans + c.host_spans, c.spans_recorded);
+        prop_assert_eq!(trace.spans.len() as u64, c.spans_recorded);
+        if c.spans_dropped > 0 {
+            prop_assert!(trace.reconcile().is_err(), "dropped spans must not reconcile");
+        }
+    }
+
+    /// Each structural invariant is independently load-bearing: corrupt
+    /// exactly one — an inverted interval, a negative wait, a queue
+    /// wait larger than its interval, a duplicate claim of one
+    /// (iteration, generation), an orphan phase, a rewound `seq` — and
+    /// validation must fail.
+    #[test]
+    fn any_single_corruption_fails_validation(
+        gens in proptest::collection::vec(1u64..4, 1..6),
+        victim in 0usize..1000,
+        mutation in 0usize..6,
+    ) {
+        let sink = TraceSink::bounded(1 << 16);
+        record_script(&sink, &gens);
+        let mut trace = sink.finish();
+        prop_assert!(trace.validate().is_ok());
+        let n = trace.spans.len();
+        let i = victim % n;
+        let next_seq = trace.spans[n - 1].seq + 1;
+        match mutation {
+            0 => trace.spans[i].end_us = trace.spans[i].start_us - 1.0,
+            1 => trace.spans[i].wait_us = -1.0,
+            2 => {
+                // A link span whose queue wait exceeds its interval.
+                trace.spans.push(Span {
+                    seq: next_seq,
+                    kind: SpanKind::LinkPush,
+                    start_us: 0.0,
+                    end_us: 1.0,
+                    wait_us: 2.0,
+                    ..Span::default()
+                });
+                trace.counters.spans_recorded += 1;
+                trace.counters.host_spans += 1;
+            }
+            3 => {
+                // Re-claim an (iteration, generation) already claimed.
+                let dup = trace
+                    .spans
+                    .iter()
+                    .find(|s| s.kind == SpanKind::TicketClaim)
+                    .cloned()
+                    .expect("script always claims");
+                trace.spans.push(Span { seq: next_seq, ..dup });
+                trace.counters.spans_recorded += 1;
+                trace.counters.host_spans += 1;
+            }
+            4 => {
+                // A phase span for a ticket nobody ever claimed.
+                trace.spans.push(Span {
+                    seq: next_seq,
+                    kind: SpanKind::TicketPlan,
+                    iteration: 0,
+                    generation: 999,
+                    ..Span::default()
+                });
+                trace.counters.spans_recorded += 1;
+                trace.counters.host_spans += 1;
+            }
+            _ => {
+                // Rewind one seq (needs a successor to collide with).
+                if n < 2 {
+                    return Ok(());
+                }
+                let j = 1 + i % (n - 1);
+                trace.spans[j].seq = trace.spans[j - 1].seq;
+            }
+        }
+        prop_assert!(trace.validate().is_err(), "mutation {} must be caught", mutation);
+    }
+
+    /// `sim_eq` compares exactly the Sim-domain sequence: Host spans,
+    /// `seq` renumbering and `host` re-attribution are all invisible
+    /// (they vary with thread schedule and placement), while a single
+    /// flipped bit in any compared Sim field is a divergence.
+    #[test]
+    fn sim_eq_ignores_exactly_the_excluded_fields(
+        gens in proptest::collection::vec(1u64..3, 1..6),
+        victim in 0usize..1000,
+    ) {
+        let sink = TraceSink::bounded(1 << 16);
+        record_script(&sink, &gens);
+        let full = sink.finish();
+        // Strip every Host span, renumber seq, re-attribute hosts: the
+        // Sim timeline must still compare equal.
+        let mut stripped = Trace {
+            spans: full
+                .spans
+                .iter()
+                .filter(|s| s.domain == ClockDomain::Sim)
+                .cloned()
+                .collect(),
+            ..full.clone()
+        };
+        for (i, s) in stripped.spans.iter_mut().enumerate() {
+            s.seq = i as u64 * 7;
+            s.host = 42;
+        }
+        prop_assert!(sim_eq(&full, &stripped).is_ok(), "{:?}", sim_eq(&full, &stripped));
+        // One ULP on one Sim span's start is a contract violation.
+        let n = stripped.spans.len();
+        let s = &mut stripped.spans[victim % n];
+        s.start_us = f64::from_bits(s.start_us.to_bits() ^ 1);
+        prop_assert!(sim_eq(&full, &stripped).is_err());
+    }
+}
